@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation F: degraded service and on-line reconstruction.
+ *
+ * §2.3 defers reliability policy ("Techniques for maximizing
+ * reliability are beyond the scope of this paper"), but the mechanism
+ * matters for any RAID-5 deployment: how much does a dead disk cost
+ * while degraded, and how does the rebuild window trade rebuild time
+ * against foreground interference?
+ */
+
+#include <functional>
+
+#include "bench_util.hh"
+#include "raid/reconstruct.hh"
+#include "sim/event_queue.hh"
+#include "workload/generators.hh"
+
+using namespace raid2;
+
+namespace {
+
+double
+randomReadMBs(sim::EventQueue &eq, raid::SimArray &array,
+              std::uint64_t ops)
+{
+    workload::ClosedLoopRunner::Config w;
+    w.processes = 2;
+    w.requestBytes = 512 * sim::KiB;
+    w.regionBytes = 1ull << 30;
+    w.totalOps = ops;
+    w.warmupOps = ops / 10;
+    auto r = workload::ClosedLoopRunner::run(
+        eq, w,
+        [&](std::uint64_t off, std::uint64_t len,
+            std::function<void()> done) {
+            array.read(off, len, std::move(done));
+        });
+    return r.throughputMBs();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation F: degraded reads and rebuild-window "
+                       "sweep",
+                       "mechanism study; the paper defers the policy "
+                       "(§2.3)");
+
+    // Healthy vs degraded service level.
+    {
+        sim::EventQueue eq;
+        auto cfg = bench::lfsConfig();
+        cfg.withFs = false;
+        server::Raid2Server srv(eq, "srv", cfg);
+        const double healthy = randomReadMBs(eq, srv.array(), 100);
+        srv.array().failDisk(3);
+        const double degraded = randomReadMBs(eq, srv.array(), 100);
+        bench::printRow("Healthy 512 KB random reads", healthy, "MB/s",
+                        "-");
+        bench::printRow("Degraded (1 of 16 disks dead)", degraded,
+                        "MB/s", "slower: survivor fan-out");
+    }
+
+    // Rebuild time vs window (concurrent stripes in flight).
+    std::printf("\n");
+    bench::printSeriesHeader({"window", "rebuild min", "MB/s rebuilt"});
+    for (unsigned window : {1u, 2u, 4u, 8u, 16u}) {
+        sim::EventQueue eq;
+        auto cfg = bench::lfsConfig();
+        cfg.withFs = false;
+        server::Raid2Server srv(eq, "srv", cfg);
+        srv.array().failDisk(3);
+        raid::RebuildJob job(eq, srv.array(), 3, window);
+        const sim::Tick t0 = eq.now();
+        bool done = false;
+        job.start([&] { done = true; });
+        eq.runUntilDone([&] { return done; });
+        const double minutes =
+            sim::ticksToMs(eq.now() - t0) / 60000.0;
+        const double mbs = sim::mbPerSec(
+            job.stripesTotal() *
+                srv.array().layout().unitBytes() *
+                srv.array().numDisks(),
+            eq.now() - t0);
+        bench::printSeriesRow({static_cast<double>(window), minutes,
+                               mbs});
+    }
+
+    std::printf("\n  Expected shape: degraded reads lose ~30-40%%; "
+                "rebuild time drops\n  steeply from window 1 and "
+                "flattens once the datapath saturates.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench_util.hh"
+
+namespace raid2::bench {
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n");
+    std::printf("====================================================="
+                "=================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(%s)\n", paper_ref.c_str());
+    std::printf("====================================================="
+                "=================\n");
+}
+
+void
+printRow(const std::string &name, double value, const std::string &unit,
+         const std::string &paper)
+{
+    std::printf("  %-38s %8.2f %-10s paper: %s\n", name.c_str(), value,
+                unit.c_str(), paper.c_str());
+}
+
+void
+printSeriesHeader(const std::vector<std::string> &cols)
+{
+    std::printf("  ");
+    for (const auto &c : cols)
+        std::printf("%14s", c.c_str());
+    std::printf("\n");
+}
+
+void
+printSeriesRow(const std::vector<double> &vals)
+{
+    std::printf("  ");
+    for (double v : vals)
+        std::printf("%14.2f", v);
+    std::printf("\n");
+}
+
+raid2::server::Raid2Server::Config
+hwConfig()
+{
+    raid2::server::Raid2Server::Config cfg;
+    cfg.layout.level = raid::RaidLevel::Raid5;
+    cfg.layout.stripeUnitBytes = cal::lfsStripeUnitBytes; // 64 KB
+    cfg.topo.numCougars = 4;
+    cfg.topo.disksPerString = 3; // 24 disks (§2.2)
+    cfg.topo.profile = &disk::ibm0661();
+    cfg.withFs = false;
+    // The hardware experiments keep the whole request's disk commands
+    // in flight while HIPPI streams behind them.
+    cfg.pipelineDepth = 8;
+    return cfg;
+}
+
+raid2::server::Raid2Server::Config
+lfsConfig()
+{
+    raid2::server::Raid2Server::Config cfg;
+    cfg.layout.level = raid::RaidLevel::Raid5;
+    cfg.layout.stripeUnitBytes = cal::lfsStripeUnitBytes;
+    cfg.topo.numCougars = 4;
+    cfg.topo.disksPerString = 2; // 16 disks (§3.4)
+    cfg.topo.profile = &disk::ibm0661();
+    cfg.withFs = true;
+    // "several pipeline processes issuing read requests" (§3.3)
+    cfg.pipelineDepth = 8;
+    return cfg;
+}
+
+} // namespace raid2::bench

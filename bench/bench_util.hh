@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: table printing and the
+ * standard experiment configurations from the paper.
+ */
+
+#ifndef RAID2_BENCH_BENCH_UTIL_HH
+#define RAID2_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "raid/sim_array.hh"
+#include "server/raid2_server.hh"
+
+namespace raid2::bench {
+
+/** Print a rule + centered title for a bench section. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+/** Print a single "name  value unit   (paper: x)" row. */
+void printRow(const std::string &name, double value,
+              const std::string &unit, const std::string &paper);
+
+/** Print a series header for curve-style output. */
+void printSeriesHeader(const std::vector<std::string> &cols);
+void printSeriesRow(const std::vector<double> &vals);
+
+/** The §2.3 hardware-experiment array: 24 IBM disks on 4 Cougars. */
+raid2::server::Raid2Server::Config hwConfig();
+
+/** The §3.4 LFS experiment array: 16 disks, 64 KB stripe, 960 KB
+ *  segments. */
+raid2::server::Raid2Server::Config lfsConfig();
+
+} // namespace raid2::bench
+
+#endif // RAID2_BENCH_BENCH_UTIL_HH

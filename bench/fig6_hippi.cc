@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 6: HIPPI loopback performance.
+ *
+ * "Data are transferred from the XBUS memory to the HIPPI source
+ * board, and then to the HIPPI destination board and back to XBUS
+ * memory. ... In the loopback mode, the overhead of sending a HIPPI
+ * packet is about 1.1 milliseconds ... For large requests, however,
+ * the XBUS and HIPPI boards support 38 megabytes/second in both
+ * directions."  (§2.3, Fig 6: throughput vs request size, asymptote
+ * 38.5 MB/s.)
+ */
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "net/hippi.hh"
+#include "sim/event_queue.hh"
+#include "xbus/xbus_board.hh"
+
+using namespace raid2;
+
+int
+main()
+{
+    bench::printHeader("Figure 6: HIPPI loopback throughput vs request "
+                       "size",
+                       "paper: 1.1 ms packet overhead, 38.5 MB/s "
+                       "asymptote");
+
+    bench::printSeriesHeader({"req KB", "MB/s"});
+    const std::vector<std::uint64_t> sizes_kb = {
+        4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+
+    for (std::uint64_t kb : sizes_kb) {
+        sim::EventQueue eq;
+        xbus::XbusBoard board(eq, "xbus");
+        net::HippiLoopback loop(eq, board);
+
+        const std::uint64_t bytes = kb * sim::KB;
+        const int reps = 20;
+        int done = 0;
+        std::function<void()> issue = [&] {
+            if (done == reps)
+                return;
+            loop.transfer(bytes, [&] {
+                ++done;
+                issue();
+            });
+        };
+        issue();
+        eq.run();
+
+        const double mbs =
+            sim::mbPerSec(std::uint64_t(reps) * bytes, eq.now());
+        bench::printSeriesRow({static_cast<double>(kb), mbs});
+    }
+
+    std::printf("\n  Expected shape: overhead-dominated at small sizes,"
+                " saturating near 38.5 MB/s\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Microbenchmarks of the simulator's own primitives
+ * (google-benchmark): event queue throughput, service/pipeline cost,
+ * RAID mapping, XOR parity bandwidth, and the functional LFS write
+ * path.  These guard the simulator's performance, not the paper's
+ * results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fs/mem_block_device.hh"
+#include "lfs/lfs.hh"
+#include "raid/parity.hh"
+#include "raid/raid_layout.hh"
+#include "sim/event_queue.hh"
+#include "sim/service.hh"
+
+using namespace raid2;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void
+BM_ServiceSubmit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        sim::Service svc(eq, "svc", sim::Service::Config{40.0, 0, 1});
+        for (int i = 0; i < 1000; ++i)
+            svc.submit(4096, nullptr);
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ServiceSubmit);
+
+void
+BM_PipelineChunked(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        sim::Service a(eq, "a", sim::Service::Config{40.0, 0, 1});
+        sim::Service b(eq, "b", sim::Service::Config{40.0, 0, 1});
+        bool done = false;
+        sim::Pipeline::start(eq, {&a, &b}, 10 * sim::MB, 16 * 1024,
+                             [&] { done = true; });
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+}
+BENCHMARK(BM_PipelineChunked);
+
+void
+BM_RaidMapRange(benchmark::State &state)
+{
+    raid::LayoutConfig cfg;
+    cfg.level = raid::RaidLevel::Raid5;
+    cfg.numDisks = 24;
+    cfg.stripeUnitBytes = 64 * 1024;
+    raid::RaidLayout layout(cfg, 320ull * 1024 * 1024);
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        auto extents = layout.mapRange(off % (1ull << 30), sim::MB);
+        benchmark::DoNotOptimize(extents.data());
+        off += 1234567;
+    }
+}
+BENCHMARK(BM_RaidMapRange);
+
+void
+BM_ParityXor(benchmark::State &state)
+{
+    std::vector<std::uint8_t> dst(1 << 20, 1), src(1 << 20, 2);
+    for (auto _ : state) {
+        raid::xorInto(dst.data(), src.data(), dst.size());
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(state.iterations() * dst.size());
+}
+BENCHMARK(BM_ParityXor);
+
+void
+BM_LfsWritePath(benchmark::State &state)
+{
+    for (auto _ : state) {
+        fs::MemBlockDevice dev(4096, 16384); // 64 MB
+        lfs::Lfs::format(dev);
+        lfs::Lfs fs(dev);
+        const auto ino = fs.create("/f");
+        std::vector<std::uint8_t> buf(64 * 1024, 0x5a);
+        for (int i = 0; i < 256; ++i)
+            fs.write(ino, std::uint64_t(i) * buf.size(),
+                     {buf.data(), buf.size()});
+        fs.sync();
+        benchmark::DoNotOptimize(fs.stats().segmentsWritten);
+    }
+    state.SetBytesProcessed(state.iterations() * 256 * 64 * 1024);
+}
+BENCHMARK(BM_LfsWritePath);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * LFS crash recovery walkthrough (§3.1).
+ *
+ * "To recover from a file system crash, the LFS server need only
+ * process the log from the position of the last checkpoint."  The
+ * example builds a file tree, checkpoints, keeps writing (with syncs),
+ * then kills the device mid-write — and shows what mount-time roll-
+ * forward recovers: everything synced before the crash, and nothing
+ * of the torn tail.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fs/fault_device.hh"
+#include "fs/mem_block_device.hh"
+#include "lfs/lfs.hh"
+
+using namespace raid2;
+
+int
+main()
+{
+    std::printf("LFS crash recovery demo\n");
+    std::printf("=======================\n\n");
+
+    fs::MemBlockDevice media(4096, 32768); // 128 MB
+    fs::FaultDevice dev(media);
+    lfs::Lfs::format(dev);
+
+    std::vector<std::uint8_t> payload(64 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 7);
+
+    {
+        lfs::Lfs fs(dev);
+        fs.mkdir("/projects");
+        for (int i = 0; i < 8; ++i) {
+            const auto ino = fs.create("/projects/pre" +
+                                       std::to_string(i));
+            fs.write(ino, 0, {payload.data(), payload.size()});
+        }
+        fs.checkpoint();
+        std::printf("checkpointed: 8 files under /projects\n");
+
+        // Post-checkpoint work, made durable only by sync (the log).
+        for (int i = 0; i < 8; ++i) {
+            const auto ino = fs.create("/projects/post" +
+                                       std::to_string(i));
+            fs.write(ino, 0, {payload.data(), payload.size()});
+        }
+        fs.sync();
+        std::printf("synced (no checkpoint): 8 more files\n");
+
+        // And work that never reaches the media: the "crash" happens
+        // while this sync's segment write is in flight.
+        const auto ino = fs.create("/projects/lost");
+        fs.write(ino, 0, {payload.data(), payload.size()});
+        dev.setWriteLimit(3); // a few blocks land, then power fails
+        try {
+            fs.sync();
+        } catch (...) {
+        }
+        std::printf("CRASH mid-sync (device dropped %llu writes)\n\n",
+                    (unsigned long long)dev.droppedWrites());
+    }
+
+    // Power back on: remount runs checkpoint load + roll-forward.
+    dev.heal();
+    lfs::Lfs fs(dev);
+    std::printf("remounted; roll-forward processed %llu segments\n",
+                (unsigned long long)fs.stats().rollForwardSegments);
+
+    unsigned pre = 0, post = 0, lost = 0, intact = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (fs.exists("/projects/pre" + std::to_string(i)))
+            ++pre;
+        if (fs.exists("/projects/post" + std::to_string(i)))
+            ++post;
+    }
+    lost += fs.exists("/projects/lost") ? 1 : 0;
+
+    for (const auto &e : fs.readdir("/projects")) {
+        std::vector<std::uint8_t> back(payload.size());
+        const auto st = fs.stat("/projects/" + e.name);
+        if (st.type != lfs::FileType::Regular)
+            continue;
+        fs.read(st.ino, 0, {back.data(), back.size()});
+        if (back == payload)
+            ++intact;
+    }
+
+    const auto fsck = fs.fsck();
+    std::printf("recovered: %u/8 pre-checkpoint, %u/8 post-checkpoint "
+                "(synced), %u unsynced\n",
+                pre, post, lost);
+    std::printf("content verified intact: %u files\n", intact);
+    std::printf("fsck after recovery: %s\n",
+                fsck.ok ? "clean" : "PROBLEMS");
+    for (const auto &p : fsck.problems)
+        std::printf("  %s\n", p.c_str());
+
+    const bool ok = pre == 8 && post == 8 && lost == 0 && fsck.ok &&
+                    intact == 16;
+    std::printf("\n%s\n", ok ? "SUCCESS: synced data survived, torn "
+                               "tail discarded"
+                             : "FAILURE");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A day at the office: trace-driven workstation file service.
+ *
+ * §4.1 contrasts RAID-II with NFS-style servers built for "a large
+ * number of clients" making small, latency-sensitive requests.  This
+ * example synthesizes an office/engineering trace (small whole-file
+ * reads, bursty writes, a few big sequential files), replays it
+ * through the server over both access modes, and reports the latency
+ * picture each mode gives the clients.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "server/raid2_server.hh"
+#include "sim/event_queue.hh"
+#include "workload/trace.hh"
+
+using namespace raid2;
+
+namespace {
+
+workload::TraceReplayer::Results
+runMode(const workload::Trace &trace, bool standard_mode)
+{
+    sim::EventQueue eq;
+    server::Raid2Server::Config cfg;
+    cfg.topo.disksPerString = 2;
+    cfg.fsDeviceBytes = 384ull * 1024 * 1024;
+    server::Raid2Server srv(eq, "office", cfg);
+
+    workload::TraceReplayer::Config rcfg;
+    rcfg.paced = true;
+    rcfg.standardMode = standard_mode;
+    auto res = workload::TraceReplayer::replay(eq, srv, trace, rcfg);
+    if (!srv.fs().fsck().ok)
+        std::printf("  (fsck reported problems!)\n");
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Trace-driven office workload on RAID-II (§4.1)\n");
+    std::printf("===============================================\n\n");
+
+    const auto trace = workload::Trace::synthesizeOffice(
+        /*clients=*/12, sim::secToTicks(120), /*seed=*/2026);
+    std::printf("synthesized trace: %zu ops, %.1f MB moved over %.0f "
+                "simulated seconds\n",
+                trace.size(), trace.totalBytes() / 1e6,
+                sim::ticksToSec(trace.duration()));
+
+    // The trace is an artifact too: save and re-parse it.
+    {
+        std::ofstream out("/tmp/office_day.trace");
+        trace.save(out);
+    }
+    std::printf("saved to /tmp/office_day.trace (plain text, "
+                "replayable)\n\n");
+
+    const auto fast = runMode(trace, false);
+    const auto standard = runMode(trace, true);
+
+    std::printf("%-24s %14s %14s\n", "", "fast path", "standard mode");
+    std::printf("%-24s %14.1f %14.1f\n", "mean op latency (ms)",
+                fast.latencyMs.mean(), standard.latencyMs.mean());
+    std::printf("%-24s %14.1f %14.1f\n", "max op latency (ms)",
+                fast.latencyMs.max(), standard.latencyMs.max());
+    std::printf("%-24s %14.1f %14.1f\n", "achieved ops/s",
+                fast.opsPerSec(), standard.opsPerSec());
+
+    std::printf("\nExpected: the paced trace completes on both paths, "
+                "but Ethernet-mode\nlatencies stretch with transfer "
+                "size while the fast path stays flat —\nthe reason "
+                "§2.1.1 routes small requests to Ethernet only to "
+                "keep the\nHIPPI path free for the big ones.\n");
+    return 0;
+}

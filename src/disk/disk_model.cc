@@ -1,0 +1,166 @@
+#include "disk/disk_model.hh"
+
+#include <cstdlib>
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace raid2::disk {
+
+DiskModel::DiskModel(sim::EventQueue &eq_, std::string name,
+                     const DiskProfile &profile,
+                     std::unique_ptr<Scheduler> sched_)
+    : eq(eq_), _name(std::move(name)), prof(profile),
+      sched(sched_ ? std::move(sched_) : makeFcfsScheduler())
+{
+    // Give each drive a distinct rotational phase so an array's
+    // rotational latencies don't line up artificially.
+    std::size_t h = std::hash<std::string>{}(_name);
+    rotPhase = static_cast<Tick>(h % prof.rotationTicks());
+}
+
+void
+DiskModel::submit(std::uint64_t start_sector, std::uint32_t sectors,
+                  bool write, std::function<void()> done)
+{
+    if (sectors == 0)
+        sim::panic("disk %s: zero-sector request", _name.c_str());
+    if (start_sector + sectors > prof.totalSectors())
+        sim::panic("disk %s: request [%llu, +%u) beyond capacity %llu",
+                   _name.c_str(), (unsigned long long)start_sector, sectors,
+                   (unsigned long long)prof.totalSectors());
+
+    DiskRequest req;
+    req.startSector = start_sector;
+    req.sectors = sectors;
+    req.write = write;
+    req.done = std::move(done);
+    req.submitTick = eq.now();
+    sched->push(std::move(req));
+    _queueDepth.sample(static_cast<double>(sched->size()) + (busy ? 1 : 0));
+
+    if (!busy)
+        startNext();
+}
+
+void
+DiskModel::submitBytes(std::uint64_t offset, std::uint64_t bytes, bool write,
+                       std::function<void()> done)
+{
+    // Round outward to whole sectors: the drive always transfers full
+    // sectors regardless of the caller's byte range.
+    const std::uint64_t first = offset / prof.sectorBytes;
+    const std::uint64_t last =
+        (offset + bytes + prof.sectorBytes - 1) / prof.sectorBytes;
+    submit(first, static_cast<std::uint32_t>(last - first), write,
+           std::move(done));
+}
+
+void
+DiskModel::startNext()
+{
+    if (sched->empty()) {
+        busy = false;
+        return;
+    }
+    busy = true;
+
+    // std::function closures must be copyable; stash the request in a
+    // shared_ptr so its done-callback survives the capture.
+    auto req = std::make_shared<DiskRequest>(sched->pop(headSector));
+    const Tick start = eq.now();
+    Tick positioning = 0;
+    const Tick service = computeService(*req, start, positioning);
+    const Tick finish = start + service;
+
+    ++_requests;
+    if (req->write)
+        _sectorsWritten += req->sectors;
+    else
+        _sectorsRead += req->sectors;
+    _serviceMs.sample(sim::ticksToMs(service));
+    _positionMs.sample(sim::ticksToMs(positioning));
+    busyTime.addBusy(start, finish);
+
+    eq.schedule(finish, [this, req] {
+        if (!req->write) {
+            readAheadPos = req->startSector + req->sectors;
+            lastReadDone = eq.now();
+        } else {
+            // A write invalidates any overlapping read-ahead state.
+            readAheadPos = ~std::uint64_t(0);
+        }
+        if (req->done)
+            req->done();
+        startNext();
+    });
+}
+
+Tick
+DiskModel::computeService(const DiskRequest &req, Tick start,
+                          Tick &position_out)
+{
+    std::uint32_t cyl, head, sec;
+    prof.decompose(req.startSector, cyl, head, sec);
+
+    Tick t = prof.cmdOverhead;
+
+    // Read-ahead: a strictly sequential read that arrives while the
+    // buffered stream is still warm skips seek and rotation entirely.
+    const bool seq_read_hit =
+        !req.write && prof.trackBufferKiB > 0 &&
+        req.startSector == readAheadPos &&
+        start - lastReadDone <= 4 * prof.rotationTicks();
+
+    Tick positioning = 0;
+    if (seq_read_hit) {
+        ++_readAheadHits;
+    } else {
+        const std::uint32_t dist = cyl > curCylinder ? cyl - curCylinder
+                                                     : curCylinder - cyl;
+        const Tick seek = prof.seekTicks(dist);
+
+        // Rotational delay: platter angle is a pure function of time.
+        const Tick rot = prof.rotationTicks();
+        const Tick target_angle = Tick(sec) * prof.sectorTicks();
+        const Tick angle_at_arrival = (start + t + seek + rotPhase) % rot;
+        Tick rot_delay = (target_angle + rot - angle_at_arrival) % rot;
+        positioning = seek + rot_delay;
+    }
+    t += positioning;
+    position_out = positioning;
+
+    // Media transfer: sector time per sector plus a head/track switch
+    // at each track boundary crossed (track skew assumed to cover
+    // resynchronization).
+    const std::uint32_t spt = prof.sectorsPerTrack;
+    const std::uint32_t boundaries = (sec + req.sectors - 1) / spt;
+    t += Tick(req.sectors) * prof.sectorTicks() +
+         Tick(boundaries) * prof.headSwitch;
+
+    // Track head position after the transfer.
+    const std::uint64_t end_sector = req.startSector + req.sectors;
+    std::uint32_t ecyl, ehead, esec;
+    prof.decompose(end_sector == prof.totalSectors() ? end_sector - 1
+                                                     : end_sector,
+                   ecyl, ehead, esec);
+    curCylinder = ecyl;
+    headSector = end_sector;
+
+    return t;
+}
+
+void
+DiskModel::resetStats()
+{
+    _requests = 0;
+    _sectorsRead = 0;
+    _sectorsWritten = 0;
+    _readAheadHits = 0;
+    _serviceMs.reset();
+    _positionMs.reset();
+    _queueDepth.reset();
+    busyTime.reset();
+}
+
+} // namespace raid2::disk

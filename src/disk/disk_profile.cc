@@ -1,0 +1,145 @@
+#include "disk/disk_profile.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace raid2::disk {
+
+Tick
+DiskProfile::rotationTicks() const
+{
+    return static_cast<Tick>(60.0 / rpm * static_cast<double>(sim::nsPerSec));
+}
+
+Tick
+DiskProfile::sectorTicks() const
+{
+    return rotationTicks() / sectorsPerTrack;
+}
+
+std::uint64_t
+DiskProfile::bytesPerTrack() const
+{
+    return std::uint64_t(sectorsPerTrack) * sectorBytes;
+}
+
+std::uint64_t
+DiskProfile::bytesPerCylinder() const
+{
+    return bytesPerTrack() * heads;
+}
+
+std::uint64_t
+DiskProfile::capacityBytes() const
+{
+    return bytesPerCylinder() * cylinders;
+}
+
+std::uint64_t
+DiskProfile::totalSectors() const
+{
+    return std::uint64_t(cylinders) * heads * sectorsPerTrack;
+}
+
+double
+DiskProfile::mediaMBs() const
+{
+    return static_cast<double>(bytesPerTrack()) /
+           (static_cast<double>(rotationTicks()) /
+            static_cast<double>(sim::nsPerSec)) / 1e6;
+}
+
+Tick
+DiskProfile::seekTicks(std::uint32_t d) const
+{
+    if (d == 0)
+        return 0;
+    // Fit t(d) = a + b*sqrt(d) + c*d to:
+    //   t(1)        = minSeek
+    //   t(C/3)      = avgSeek   (mean random seek distance ~ C/3)
+    //   t(C-1)      = maxSeek
+    const double c1 = 1.0;
+    const double c2 = cylinders / 3.0;
+    const double c3 = cylinders - 1.0;
+    const double t1 = static_cast<double>(minSeek);
+    const double t2 = static_cast<double>(avgSeek);
+    const double t3 = static_cast<double>(maxSeek);
+
+    // Solve the 2x2 system for b, c with a eliminated via point 1:
+    //   b*(sqrt(c2)-1) + c*(c2-1) = t2-t1
+    //   b*(sqrt(c3)-1) + c*(c3-1) = t3-t1
+    const double a11 = std::sqrt(c2) - std::sqrt(c1);
+    const double a12 = c2 - c1;
+    const double a21 = std::sqrt(c3) - std::sqrt(c1);
+    const double a22 = c3 - c1;
+    const double det = a11 * a22 - a12 * a21;
+    double b = 0.0, c = 0.0;
+    if (det != 0.0) {
+        b = ((t2 - t1) * a22 - (t3 - t1) * a12) / det;
+        c = (a11 * (t3 - t1) - a21 * (t2 - t1)) / det;
+    }
+    const double a = t1 - b * std::sqrt(c1) - c * c1;
+
+    double t = a + b * std::sqrt(static_cast<double>(d)) +
+               c * static_cast<double>(d);
+    if (t < static_cast<double>(minSeek))
+        t = static_cast<double>(minSeek);
+    return static_cast<Tick>(t);
+}
+
+void
+DiskProfile::decompose(std::uint64_t sector, std::uint32_t &cyl,
+                       std::uint32_t &head, std::uint32_t &sec) const
+{
+    const std::uint64_t per_cyl =
+        std::uint64_t(heads) * sectorsPerTrack;
+    cyl = static_cast<std::uint32_t>(sector / per_cyl);
+    const std::uint64_t in_cyl = sector % per_cyl;
+    head = static_cast<std::uint32_t>(in_cyl / sectorsPerTrack);
+    sec = static_cast<std::uint32_t>(in_cyl % sectorsPerTrack);
+}
+
+const DiskProfile &
+ibm0661()
+{
+    static const DiskProfile profile = [] {
+        DiskProfile p;
+        p.name = "IBM 0661 (320 MB, 3.5in)";
+        p.cylinders = 949;
+        p.heads = 14;
+        p.sectorsPerTrack = 48;
+        p.rpm = 4316.0;             // 13.9 ms rotation
+        p.minSeek = sim::msToTicks(2.0);
+        p.avgSeek = sim::msToTicks(12.5);
+        p.maxSeek = sim::msToTicks(25.0);
+        p.headSwitch = sim::msToTicks(1.0);
+        p.cmdOverhead = sim::msToTicks(1.5);
+        p.trackBufferKiB = 256;
+        return p;
+    }();
+    return profile;
+}
+
+const DiskProfile &
+wrenIV()
+{
+    static const DiskProfile profile = [] {
+        DiskProfile p;
+        p.name = "Seagate Wren IV (344 MB, 5.25in)";
+        p.cylinders = 1549;
+        p.heads = 9;
+        p.sectorsPerTrack = 48;
+        p.rpm = 3600.0;             // 16.7 ms rotation
+        p.minSeek = sim::msToTicks(3.0);
+        p.avgSeek = sim::msToTicks(16.5);
+        p.maxSeek = sim::msToTicks(35.0);
+        p.headSwitch = sim::msToTicks(1.2);
+        p.cmdOverhead = sim::msToTicks(2.0);
+        p.trackBufferKiB = 64;
+        return p;
+    }();
+    return profile;
+}
+
+} // namespace raid2::disk

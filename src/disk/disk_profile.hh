@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Disk drive parameter profiles.
+ *
+ * The paper's two prototypes used Seagate Wren IV (RAID-I) and IBM
+ * 0661 (RAID-II) drives; §2.3 notes "The IBM 0661 disk drives ... can
+ * perform more I/Os per second than the Seagate Wren IV disks ...
+ * because they have shorter seek and rotation times."  The profiles
+ * below use the published drive specifications of that era; the
+ * single-disk sustained rate of the Wren IV comes out at ~1.3 MB/s,
+ * matching §1 ("a single disk on RAID-I can sustain 1.3 megabytes/
+ * second").
+ */
+
+#ifndef RAID2_DISK_DISK_PROFILE_HH
+#define RAID2_DISK_DISK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace raid2::disk {
+
+using sim::Tick;
+
+/** Static description of a disk drive model. */
+struct DiskProfile
+{
+    std::string name;
+
+    std::uint32_t cylinders = 0;
+    std::uint32_t heads = 0;
+    std::uint32_t sectorsPerTrack = 0;
+    std::uint32_t sectorBytes = 512;
+
+    double rpm = 3600.0;
+
+    /** Single-cylinder, random-average and full-stroke seek times. */
+    Tick minSeek = 0;
+    Tick avgSeek = 0;
+    Tick maxSeek = 0;
+
+    /** Head-switch time (also charged at track boundaries while
+     *  streaming; track skew is assumed to match it). */
+    Tick headSwitch = 0;
+
+    /** Per-command firmware/controller overhead inside the drive. */
+    Tick cmdOverhead = 0;
+
+    /** Read-ahead (track) buffer size; 0 disables read-ahead. */
+    std::uint32_t trackBufferKiB = 0;
+
+    /** @{ Derived quantities. */
+    Tick rotationTicks() const;
+    Tick sectorTicks() const;
+    std::uint64_t bytesPerTrack() const;
+    std::uint64_t bytesPerCylinder() const;
+    std::uint64_t capacityBytes() const;
+    std::uint64_t totalSectors() const;
+    /** Media streaming rate in MB/s (decimal). */
+    double mediaMBs() const;
+    /** @} */
+
+    /**
+     * Seek time for a cylinder distance using the standard
+     * a + b*sqrt(d) + c*d curve fitted to (min, avg, max).
+     */
+    Tick seekTicks(std::uint32_t cylinder_distance) const;
+
+    /** Map an absolute sector number to (cylinder, head, sector). */
+    void decompose(std::uint64_t sector, std::uint32_t &cyl,
+                   std::uint32_t &head, std::uint32_t &sec) const;
+};
+
+/** IBM 0661 "Lightning" 3.5-inch, 320 MB (RAID-II's drives, §2.2). */
+const DiskProfile &ibm0661();
+
+/** Seagate Wren IV 5.25-inch (RAID-I's drives, §1). */
+const DiskProfile &wrenIV();
+
+} // namespace raid2::disk
+
+#endif // RAID2_DISK_DISK_PROFILE_HH

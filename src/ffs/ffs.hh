@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Baseline update-in-place file system ("traditional", FFS-style).
+ *
+ * §3.1: "This is in contrast to traditional file systems, which assign
+ * files to fixed blocks on disk.  In traditional file systems, a
+ * sequence of random file writes results in inefficient small, random
+ * disk accesses" — and on a Level 5 array every such write becomes a
+ * 4-access read-modify-write.  This deliberately simple FS provides
+ * that baseline for the small-write ablation: fixed inode table, block
+ * bitmap, update-in-place data blocks, no logging.
+ */
+
+#ifndef RAID2_FFS_FFS_HH
+#define RAID2_FFS_FFS_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/block_device.hh"
+#include "lfs/lfs.hh" // reuse LfsError/Errno/Stat/DirEntry/FileExtent
+
+namespace raid2::ffs {
+
+using lfs::DirEntry;
+using lfs::Errno;
+using lfs::FileExtent;
+using lfs::FileType;
+using lfs::InodeNum;
+using lfs::LfsError;
+using lfs::Stat;
+
+/** Update-in-place file system over a BlockDevice. */
+class Ffs
+{
+  public:
+    struct Params
+    {
+        std::uint32_t blockSize = 4096;
+        std::uint32_t maxInodes = 1024;
+    };
+
+    static void format(fs::BlockDevice &dev, const Params &params);
+    static void format(fs::BlockDevice &dev) { format(dev, Params{}); }
+
+    explicit Ffs(fs::BlockDevice &dev);
+
+    /** @{ Namespace (absolute paths). */
+    InodeNum create(const std::string &path);
+    InodeNum mkdir(const std::string &path);
+    void unlink(const std::string &path);
+    InodeNum lookup(const std::string &path) const;
+    bool exists(const std::string &path) const;
+    std::vector<DirEntry> readdir(const std::string &path) const;
+    Stat stat(const std::string &path) const;
+    /** @} */
+
+    /** @{ File I/O — write-through (every block hits the device). */
+    std::uint64_t write(InodeNum ino, std::uint64_t off,
+                        std::span<const std::uint8_t> data);
+    std::uint64_t read(InodeNum ino, std::uint64_t off,
+                       std::span<std::uint8_t> out) const;
+    /** @} */
+
+    /** Device byte extents of a file range. */
+    std::vector<FileExtent> mapFile(InodeNum ino, std::uint64_t off,
+                                    std::uint64_t len) const;
+
+    std::uint64_t freeBlocks() const;
+    InodeNum rootIno() const { return root; }
+
+  private:
+    static constexpr std::uint32_t magicValue = 0x46465321; // "FFS!"
+    static constexpr unsigned numDirect = 12;
+
+#pragma pack(push, 1)
+    struct Super
+    {
+        std::uint32_t magic;
+        std::uint32_t blockSize;
+        std::uint32_t maxInodes;
+        std::uint32_t inodeTableBlock;
+        std::uint32_t bitmapBlock;
+        std::uint32_t bitmapBlocks;
+        std::uint32_t dataStartBlock;
+        std::uint64_t numBlocks;
+        InodeNum rootIno;
+    };
+    struct Inode
+    {
+        InodeNum ino;
+        std::uint16_t type;
+        std::uint16_t nlink;
+        std::uint64_t size;
+        std::uint64_t direct[numDirect];
+        std::uint64_t indirect;
+        std::uint8_t pad[256 - (4 + 2 + 2 + 8 + 8 * numDirect + 8)];
+    };
+    static_assert(sizeof(Inode) == 256);
+#pragma pack(pop)
+
+    Inode loadInode(InodeNum ino) const;
+    void storeInode(const Inode &inode);
+    InodeNum allocInode(FileType type);
+    void freeInodeBlocks(Inode &inode);
+    std::uint64_t allocBlock();
+    void freeBlock(std::uint64_t bno);
+    bool bitGet(std::uint64_t bno) const;
+    void bitSet(std::uint64_t bno, bool v);
+
+    std::uint64_t getFileBlock(const Inode &inode,
+                               std::uint64_t fbno) const;
+    void setFileBlock(Inode &inode, std::uint64_t fbno,
+                      std::uint64_t addr);
+
+    std::vector<DirEntry> readDirEntries(const Inode &dir) const;
+    void writeDirEntries(Inode &dir, const std::vector<DirEntry> &ents);
+    InodeNum resolve(const std::string &path) const;
+    InodeNum resolveParent(const std::string &path,
+                           std::string &leaf) const;
+
+    std::uint64_t writeData(Inode &inode, std::uint64_t off,
+                            std::span<const std::uint8_t> data);
+    std::uint64_t readData(const Inode &inode, std::uint64_t off,
+                           std::span<std::uint8_t> out) const;
+
+    fs::BlockDevice &dev;
+    Super sb{};
+    InodeNum root = lfs::nullIno;
+    mutable std::vector<std::uint8_t> bitmap; // cached, write-through
+};
+
+} // namespace raid2::ffs
+
+#endif // RAID2_FFS_FFS_HH

@@ -1,0 +1,33 @@
+#include "fs/array_block_device.hh"
+
+namespace raid2::fs {
+
+ArrayBlockDevice::ArrayBlockDevice(raid::RaidArray &array,
+                                   std::uint32_t block_size)
+    : _array(array), bs(block_size),
+      blocks(array.capacity() / block_size)
+{
+}
+
+void
+ArrayBlockDevice::readBlock(std::uint64_t bno, std::span<std::uint8_t> out)
+{
+    checkAccess(bno, out.size());
+    noteRead();
+    _array.read(bno * bs, out);
+    if (ioHook)
+        ioHook(bno * bs, bs, false);
+}
+
+void
+ArrayBlockDevice::writeBlock(std::uint64_t bno,
+                             std::span<const std::uint8_t> data)
+{
+    checkAccess(bno, data.size());
+    noteWrite();
+    _array.write(bno * bs, data);
+    if (ioHook)
+        ioHook(bno * bs, bs, true);
+}
+
+} // namespace raid2::fs

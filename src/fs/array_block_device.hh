@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Block device backed by a functional RAID array.
+ *
+ * Runs a file system on real RAID bytes (parity maintained, degraded
+ * reads work), and exposes an I/O hook so a bench can mirror each
+ * block access into the timing plane (SimArray) — the glue between
+ * the functional and timed halves of the reproduction.
+ */
+
+#ifndef RAID2_FS_ARRAY_BLOCK_DEVICE_HH
+#define RAID2_FS_ARRAY_BLOCK_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "fs/block_device.hh"
+#include "raid/raid_array.hh"
+
+namespace raid2::fs {
+
+/** BlockDevice view of a raid::RaidArray. */
+class ArrayBlockDevice : public BlockDevice
+{
+  public:
+    /** Observer invoked for every block access. */
+    using IoHook = std::function<void(std::uint64_t offset_bytes,
+                                      std::uint64_t len_bytes, bool write)>;
+
+    ArrayBlockDevice(raid::RaidArray &array, std::uint32_t block_size);
+
+    std::uint32_t blockSize() const override { return bs; }
+    std::uint64_t numBlocks() const override { return blocks; }
+
+    void readBlock(std::uint64_t bno,
+                   std::span<std::uint8_t> out) override;
+    void writeBlock(std::uint64_t bno,
+                    std::span<const std::uint8_t> data) override;
+
+    void setIoHook(IoHook hook) { ioHook = std::move(hook); }
+
+    raid::RaidArray &array() { return _array; }
+
+  private:
+    raid::RaidArray &_array;
+    std::uint32_t bs;
+    std::uint64_t blocks;
+    IoHook ioHook;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_ARRAY_BLOCK_DEVICE_HH

@@ -1,0 +1,37 @@
+#include "fs/block_device.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::fs {
+
+void
+BlockDevice::checkAccess(std::uint64_t bno, std::size_t len) const
+{
+    if (bno >= numBlocks())
+        sim::panic("BlockDevice: block %llu beyond device size %llu",
+                   (unsigned long long)bno,
+                   (unsigned long long)numBlocks());
+    if (len != blockSize())
+        sim::panic("BlockDevice: buffer size %zu != block size %u", len,
+                   blockSize());
+}
+
+void
+BlockDevice::readBlocks(std::uint64_t bno, std::uint64_t count,
+                        std::span<std::uint8_t> out)
+{
+    const std::uint32_t bs = blockSize();
+    for (std::uint64_t i = 0; i < count; ++i)
+        readBlock(bno + i, out.subspan(i * bs, bs));
+}
+
+void
+BlockDevice::writeBlocks(std::uint64_t bno, std::uint64_t count,
+                         std::span<const std::uint8_t> data)
+{
+    const std::uint32_t bs = blockSize();
+    for (std::uint64_t i = 0; i < count; ++i)
+        writeBlock(bno + i, data.subspan(i * bs, bs));
+}
+
+} // namespace raid2::fs

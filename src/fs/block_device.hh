@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synchronous block-device interface for the file systems.
+ *
+ * The functional plane of LFS and FFS runs against this interface:
+ * real bytes in, real bytes out.  MemBlockDevice backs tests,
+ * ArrayBlockDevice runs the file system on a functional RAID array
+ * (with an I/O hook benches use to drive the timing plane), and
+ * FaultDevice injects crashes for recovery testing.
+ */
+
+#ifndef RAID2_FS_BLOCK_DEVICE_HH
+#define RAID2_FS_BLOCK_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace raid2::fs {
+
+/** Abstract synchronous block device. */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    virtual std::uint32_t blockSize() const = 0;
+    virtual std::uint64_t numBlocks() const = 0;
+
+    /** Read block @p bno into @p out (out.size() == blockSize()). */
+    virtual void readBlock(std::uint64_t bno,
+                           std::span<std::uint8_t> out) = 0;
+
+    /** Write @p data (data.size() == blockSize()) to block @p bno. */
+    virtual void writeBlock(std::uint64_t bno,
+                            std::span<const std::uint8_t> data) = 0;
+
+    /** Barrier: all previous writes are durable afterwards. */
+    virtual void flush() {}
+
+    std::uint64_t capacityBytes() const
+    {
+        return std::uint64_t(blockSize()) * numBlocks();
+    }
+
+    /** @{ Multi-block helpers (sequential loops over the virtuals). */
+    void readBlocks(std::uint64_t bno, std::uint64_t count,
+                    std::span<std::uint8_t> out);
+    void writeBlocks(std::uint64_t bno, std::uint64_t count,
+                     std::span<const std::uint8_t> data);
+    /** @} */
+
+    /** @{ Statistics (maintained by implementations via note*()). */
+    std::uint64_t readCount() const { return _reads; }
+    std::uint64_t writeCount() const { return _writes; }
+    void resetCounters() { _reads = _writes = 0; }
+    /** @} */
+
+  protected:
+    void checkAccess(std::uint64_t bno, std::size_t len) const;
+    void noteRead() { ++_reads; }
+    void noteWrite() { ++_writes; }
+
+  private:
+    std::uint64_t _reads = 0;
+    std::uint64_t _writes = 0;
+};
+
+/**
+ * Pass-through wrapper that reports every access to an observer.
+ * The timed server uses it to mirror the file system's device traffic
+ * into the simulation plane.
+ */
+class HookBlockDevice : public BlockDevice
+{
+  public:
+    /** (byte offset, byte length, is_write) per block access. */
+    using Hook = std::function<void(std::uint64_t, std::uint64_t, bool)>;
+
+    explicit HookBlockDevice(BlockDevice &inner) : inner(inner) {}
+
+    std::uint32_t blockSize() const override
+    {
+        return inner.blockSize();
+    }
+    std::uint64_t numBlocks() const override
+    {
+        return inner.numBlocks();
+    }
+
+    void
+    readBlock(std::uint64_t bno, std::span<std::uint8_t> out) override
+    {
+        noteRead();
+        inner.readBlock(bno, out);
+        if (readHook)
+            readHook(bno * blockSize(), blockSize(), false);
+    }
+
+    void
+    writeBlock(std::uint64_t bno,
+               std::span<const std::uint8_t> data) override
+    {
+        noteWrite();
+        inner.writeBlock(bno, data);
+        if (writeHook)
+            writeHook(bno * blockSize(), blockSize(), true);
+    }
+
+    void flush() override { inner.flush(); }
+
+    void setReadHook(Hook h) { readHook = std::move(h); }
+    void setWriteHook(Hook h) { writeHook = std::move(h); }
+
+  private:
+    BlockDevice &inner;
+    Hook readHook;
+    Hook writeHook;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_BLOCK_DEVICE_HH

@@ -1,0 +1,44 @@
+#include "fs/fault_device.hh"
+
+#include <vector>
+
+namespace raid2::fs {
+
+FaultDevice::FaultDevice(BlockDevice &inner_) : inner(inner_) {}
+
+void
+FaultDevice::readBlock(std::uint64_t bno, std::span<std::uint8_t> out)
+{
+    noteRead();
+    inner.readBlock(bno, out);
+}
+
+void
+FaultDevice::writeBlock(std::uint64_t bno,
+                        std::span<const std::uint8_t> data)
+{
+    noteWrite();
+    if (limit > 0) {
+        --limit;
+        inner.writeBlock(bno, data);
+        return;
+    }
+    ++dropped;
+    if (tearOnCrash && !tearDone) {
+        tearDone = true;
+        // Half the new data lands, the rest is garbage.
+        std::vector<std::uint8_t> torn(data.begin(), data.end());
+        for (std::size_t i = torn.size() / 2; i < torn.size(); ++i)
+            torn[i] = 0xbd;
+        inner.writeBlock(bno, torn);
+    }
+}
+
+void
+FaultDevice::flush()
+{
+    if (limit > 0)
+        inner.flush();
+}
+
+} // namespace raid2::fs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fault-injecting block device wrapper for crash-recovery testing.
+ *
+ * The LFS recovery tests need to "pull the plug" at an arbitrary point
+ * in a write stream: after a configurable number of writes the device
+ * silently drops everything (as a losing-power disk does), and the
+ * test then remounts from whatever made it to the media.  A torn-write
+ * mode garbles the first post-limit write instead of dropping it.
+ */
+
+#ifndef RAID2_FS_FAULT_DEVICE_HH
+#define RAID2_FS_FAULT_DEVICE_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "fs/block_device.hh"
+
+namespace raid2::fs {
+
+/** Wrapper that kills writes after a set point. */
+class FaultDevice : public BlockDevice
+{
+  public:
+    explicit FaultDevice(BlockDevice &inner);
+
+    std::uint32_t blockSize() const override
+    {
+        return inner.blockSize();
+    }
+    std::uint64_t numBlocks() const override
+    {
+        return inner.numBlocks();
+    }
+
+    void readBlock(std::uint64_t bno,
+                   std::span<std::uint8_t> out) override;
+    void writeBlock(std::uint64_t bno,
+                    std::span<const std::uint8_t> data) override;
+    void flush() override;
+
+    /** Allow @p n more writes, then drop everything ("crash"). */
+    void setWriteLimit(std::uint64_t n) { limit = n; }
+
+    /** If set, the first dropped write is instead written torn (half
+     *  old, half new garbage). */
+    void setTearOnCrash(bool tear) { tearOnCrash = tear; }
+
+    /** Clear the fault: writes flow again (a "repaired" device). */
+    void heal() { limit = std::numeric_limits<std::uint64_t>::max(); }
+
+    bool crashed() const { return limit == 0; }
+    std::uint64_t droppedWrites() const { return dropped; }
+
+  private:
+    BlockDevice &inner;
+    std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t dropped = 0;
+    bool tearOnCrash = false;
+    bool tearDone = false;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_FAULT_DEVICE_HH

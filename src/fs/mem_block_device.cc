@@ -1,0 +1,38 @@
+#include "fs/mem_block_device.hh"
+
+#include <cstring>
+
+namespace raid2::fs {
+
+MemBlockDevice::MemBlockDevice(std::uint32_t block_size,
+                               std::uint64_t num_blocks)
+    : bs(block_size), blocks(num_blocks),
+      data(static_cast<std::size_t>(block_size) * num_blocks, 0)
+{
+}
+
+void
+MemBlockDevice::readBlock(std::uint64_t bno, std::span<std::uint8_t> out)
+{
+    checkAccess(bno, out.size());
+    noteRead();
+    std::memcpy(out.data(), data.data() + bno * bs, bs);
+}
+
+void
+MemBlockDevice::writeBlock(std::uint64_t bno,
+                           std::span<const std::uint8_t> in)
+{
+    checkAccess(bno, in.size());
+    noteWrite();
+    std::memcpy(data.data() + bno * bs, in.data(), bs);
+}
+
+std::span<std::uint8_t>
+MemBlockDevice::raw(std::uint64_t bno)
+{
+    checkAccess(bno, bs);
+    return {data.data() + bno * bs, bs};
+}
+
+} // namespace raid2::fs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * In-memory block device for functional tests.
+ */
+
+#ifndef RAID2_FS_MEM_BLOCK_DEVICE_HH
+#define RAID2_FS_MEM_BLOCK_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fs/block_device.hh"
+
+namespace raid2::fs {
+
+/** RAM-backed block device. */
+class MemBlockDevice : public BlockDevice
+{
+  public:
+    MemBlockDevice(std::uint32_t block_size, std::uint64_t num_blocks);
+
+    std::uint32_t blockSize() const override { return bs; }
+    std::uint64_t numBlocks() const override { return blocks; }
+
+    void readBlock(std::uint64_t bno,
+                   std::span<std::uint8_t> out) override;
+    void writeBlock(std::uint64_t bno,
+                    std::span<const std::uint8_t> data) override;
+
+    /** Direct access for tests (e.g. corrupting a block). */
+    std::span<std::uint8_t> raw(std::uint64_t bno);
+
+  private:
+    std::uint32_t bs;
+    std::uint64_t blocks;
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_MEM_BLOCK_DEVICE_HH

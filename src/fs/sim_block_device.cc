@@ -1,0 +1,54 @@
+#include "fs/sim_block_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace raid2::fs {
+
+SimBlockDevice::SimBlockDevice(sim::EventQueue &eq_,
+                               raid::RaidArray &functional_,
+                               raid::SimArray &timed_,
+                               std::uint32_t block_size)
+    : eq(eq_), functional(functional_), timed(timed_), bs(block_size),
+      blocks(std::min(functional_.capacity(), timed_.capacity()) /
+             block_size)
+{
+    if (blocks == 0)
+        sim::fatal("SimBlockDevice: array smaller than one block");
+}
+
+void
+SimBlockDevice::block(bool write, std::uint64_t bno)
+{
+    bool done = false;
+    const sim::Tick t0 = eq.now();
+    if (write)
+        timed.write(bno * bs, bs, [&done] { done = true; });
+    else
+        timed.read(bno * bs, bs, [&done] { done = true; });
+    if (!eq.runUntilDone([&done] { return done; }))
+        sim::panic("SimBlockDevice: timed op never completed");
+    spent += eq.now() - t0;
+}
+
+void
+SimBlockDevice::readBlock(std::uint64_t bno, std::span<std::uint8_t> out)
+{
+    checkAccess(bno, out.size());
+    noteRead();
+    functional.read(bno * bs, out);
+    block(false, bno);
+}
+
+void
+SimBlockDevice::writeBlock(std::uint64_t bno,
+                           std::span<const std::uint8_t> data)
+{
+    checkAccess(bno, data.size());
+    noteWrite();
+    functional.write(bno * bs, data);
+    block(true, bno);
+}
+
+} // namespace raid2::fs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Timed + functional block device over the simulated array.
+ *
+ * Couples the two planes at the device interface: every block access
+ * performs the functional transfer on a RaidArray (real bytes) *and*
+ * advances the event queue until the corresponding timed SimArray
+ * operation completes — synchronous code (a file system, a test)
+ * experiences simulated time without being rewritten around
+ * callbacks.  Useful for mounting LFS/FFS directly on the full
+ * datapath; the server's asynchronous paths remain the right tool for
+ * pipelined benches.
+ */
+
+#ifndef RAID2_FS_SIM_BLOCK_DEVICE_HH
+#define RAID2_FS_SIM_BLOCK_DEVICE_HH
+
+#include <cstdint>
+
+#include "fs/block_device.hh"
+#include "raid/raid_array.hh"
+#include "raid/sim_array.hh"
+
+namespace raid2::fs {
+
+/** Synchronous-in-simulated-time block device. */
+class SimBlockDevice : public BlockDevice
+{
+  public:
+    /**
+     * @param functional byte store (layout should match @p timed)
+     * @param timed      the simulated datapath the ops run through
+     */
+    SimBlockDevice(sim::EventQueue &eq, raid::RaidArray &functional,
+                   raid::SimArray &timed, std::uint32_t block_size);
+
+    std::uint32_t blockSize() const override { return bs; }
+    std::uint64_t numBlocks() const override { return blocks; }
+
+    void readBlock(std::uint64_t bno,
+                   std::span<std::uint8_t> out) override;
+    void writeBlock(std::uint64_t bno,
+                    std::span<const std::uint8_t> data) override;
+
+    /** Simulated time consumed by this device's operations so far. */
+    sim::Tick ticksSpent() const { return spent; }
+
+  private:
+    /** Run the queue until the timed op finishes; tally the time. */
+    void block(bool write, std::uint64_t bno);
+
+    sim::EventQueue &eq;
+    raid::RaidArray &functional;
+    raid::SimArray &timed;
+    std::uint32_t bs;
+    std::uint64_t blocks;
+    sim::Tick spent = 0;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_SIM_BLOCK_DEVICE_HH

@@ -1,0 +1,45 @@
+#include "host/host_workstation.hh"
+
+namespace raid2::host {
+
+HostWorkstation::HostWorkstation(sim::EventQueue &eq, std::string name,
+                                 const Config &cfg_)
+    : _name(std::move(name)), cfg(cfg_),
+      _cpu(eq, _name + ".cpu", sim::Service::Config{0.0, 0, 1}),
+      _memory(eq, _name + ".memcpy",
+              sim::Service::Config{cfg_.copyMBs, 0, 1}),
+      _backplane(eq, _name + ".vme",
+                 sim::Service::Config{cfg_.backplaneMBs, 0, 1})
+{
+}
+
+void
+HostWorkstation::chargeIoCompletion(bool through_host_memory,
+                                    std::function<void()> done)
+{
+    sim::Tick cost = cfg.perIoCpu;
+    if (through_host_memory)
+        cost += cfg.raid1ExtraPerIo;
+    _cpu.submitBusyTime(cost, std::move(done));
+}
+
+void
+HostWorkstation::copyThroughMemory(std::uint64_t bytes,
+                                   std::function<void()> done)
+{
+    // Each byte crosses the memory system copiesPerByte times.
+    _memory.submit(bytes * cfg.copiesPerByte, std::move(done));
+}
+
+std::vector<sim::Stage>
+HostWorkstation::dataPathStages()
+{
+    // Bulk data: backplane DMA, then the copy passes.  The copy stage
+    // sees each byte copiesPerByte times, which we express as a rate
+    // reduction so chunk accounting stays in payload bytes.
+    const double eff_copy =
+        cfg.copyMBs / static_cast<double>(cfg.copiesPerByte);
+    return {sim::Stage(_backplane), sim::Stage(_memory, eff_copy)};
+}
+
+} // namespace raid2::host

@@ -1,0 +1,73 @@
+#include "host/lru_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::host {
+
+LruCache::LruCache(std::uint64_t capacity_bytes)
+    : _capacity(capacity_bytes)
+{
+}
+
+bool
+LruCache::lookup(std::uint64_t key)
+{
+    auto it = map.find(key);
+    if (it == map.end()) {
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    lru.splice(lru.begin(), lru, it->second);
+    return true;
+}
+
+void
+LruCache::evictTo(std::uint64_t target)
+{
+    while (used > target && !lru.empty()) {
+        const Entry &cold = lru.back();
+        used -= cold.bytes;
+        map.erase(cold.key);
+        lru.pop_back();
+        ++_evictions;
+    }
+}
+
+void
+LruCache::insert(std::uint64_t key, std::uint64_t bytes)
+{
+    if (bytes > _capacity)
+        sim::panic("LruCache: entry larger than the cache");
+    auto it = map.find(key);
+    if (it != map.end()) {
+        used -= it->second->bytes;
+        lru.erase(it->second);
+        map.erase(it);
+    }
+    evictTo(_capacity - bytes);
+    lru.push_front(Entry{key, bytes});
+    map[key] = lru.begin();
+    used += bytes;
+}
+
+void
+LruCache::invalidate(std::uint64_t key)
+{
+    auto it = map.find(key);
+    if (it == map.end())
+        return;
+    used -= it->second->bytes;
+    lru.erase(it->second);
+    map.erase(it);
+}
+
+void
+LruCache::clear()
+{
+    lru.clear();
+    map.clear();
+    used = 0;
+}
+
+} // namespace raid2::host

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Checkpoint regions.
+ *
+ * Two fixed regions alternate; each holds the imap chunk addresses,
+ * the segment usage table and the log head position.  Mount picks the
+ * valid region with the highest sequence number, so a crash during a
+ * checkpoint write simply falls back to the previous checkpoint
+ * (§3.1: "LFS periodically performs checkpoint operations that record
+ * the current state of the file system").
+ */
+
+#include <cstring>
+
+#include "lfs/lfs.hh"
+#include "sim/logging.hh"
+
+namespace raid2::lfs {
+
+void
+Lfs::writeCheckpoint()
+{
+    CheckpointHeader hdr{};
+    hdr.magic = checkpointMagic;
+    hdr.seqno = ++cpSeqno;
+    hdr.logHeadSegment = segw->currentSegment();
+    hdr.nextSegSeq = segw->segSeq();
+    hdr.nextIno = nextIno;
+    hdr.rootIno = root;
+    hdr.numImapChunks =
+        static_cast<std::uint32_t>(imapChunkAddr.size());
+    hdr.numSegments = static_cast<std::uint32_t>(sb.numSegments);
+
+    std::vector<std::uint8_t> body;
+    body.resize(8ull * imapChunkAddr.size() +
+                sizeof(UsageEntry) * usage.size());
+    std::memcpy(body.data(), imapChunkAddr.data(),
+                8ull * imapChunkAddr.size());
+    auto *ue = reinterpret_cast<UsageEntry *>(
+        body.data() + 8ull * imapChunkAddr.size());
+    for (std::size_t s = 0; s < usage.size(); ++s) {
+        ue[s].liveBytes = usage[s].liveBytes;
+        ue[s].pad = 0;
+        ue[s].writeSeq = usage[s].writeSeq;
+    }
+    hdr.bodyChecksum = fnv1a({body.data(), body.size()});
+    {
+        CheckpointHeader tmp = hdr;
+        tmp.checksum = 0;
+        hdr.checksum = fnv1a(
+            {reinterpret_cast<const std::uint8_t *>(&tmp), sizeof(tmp)});
+    }
+
+    std::vector<std::uint8_t> region(
+        std::size_t(sb.cpBlocks) * sb.blockSize, 0);
+    if (sizeof(hdr) + body.size() > region.size())
+        sim::panic("Lfs: checkpoint body exceeds region size");
+    std::memcpy(region.data(), &hdr, sizeof(hdr));
+    std::memcpy(region.data() + sizeof(hdr), body.data(), body.size());
+
+    const std::uint64_t base =
+        (cpSeqno % 2 == 0) ? sb.cp0Block : sb.cp1Block;
+    dev.writeBlocks(base, sb.cpBlocks, {region.data(), region.size()});
+    dev.flush();
+}
+
+bool
+Lfs::readCheckpoint(std::uint64_t region_block, CheckpointHeader &hdr,
+                    std::vector<BlockAddr> &chunk_addrs,
+                    std::vector<Usage> &usage_out) const
+{
+    std::vector<std::uint8_t> region(
+        std::size_t(sb.cpBlocks) * sb.blockSize);
+    dev.readBlocks(region_block, sb.cpBlocks,
+                   {region.data(), region.size()});
+
+    std::memcpy(&hdr, region.data(), sizeof(hdr));
+    if (hdr.magic != checkpointMagic)
+        return false;
+    {
+        CheckpointHeader tmp = hdr;
+        tmp.checksum = 0;
+        if (hdr.checksum !=
+            fnv1a({reinterpret_cast<const std::uint8_t *>(&tmp),
+                   sizeof(tmp)})) {
+            return false;
+        }
+    }
+    if (hdr.numImapChunks != imapChunkAddr.size() ||
+        hdr.numSegments != sb.numSegments) {
+        return false;
+    }
+
+    const std::size_t body_size = 8ull * hdr.numImapChunks +
+                                  sizeof(UsageEntry) * hdr.numSegments;
+    if (sizeof(hdr) + body_size > region.size())
+        return false;
+    const std::uint8_t *body = region.data() + sizeof(hdr);
+    if (hdr.bodyChecksum != fnv1a({body, body_size}))
+        return false;
+
+    chunk_addrs.resize(hdr.numImapChunks);
+    std::memcpy(chunk_addrs.data(), body, 8ull * hdr.numImapChunks);
+    const auto *ue = reinterpret_cast<const UsageEntry *>(
+        body + 8ull * hdr.numImapChunks);
+    usage_out.resize(hdr.numSegments);
+    for (std::size_t s = 0; s < usage_out.size(); ++s) {
+        usage_out[s].liveBytes = ue[s].liveBytes;
+        usage_out[s].writeSeq = ue[s].writeSeq;
+    }
+    return true;
+}
+
+} // namespace raid2::lfs

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * On-media format of the log-structured file system.
+ *
+ * The layout follows Sprite LFS (Rosenblum & Ousterhout, SOSP '91),
+ * which RAID-II runs (§3): the device is a superblock, two checkpoint
+ * regions, and a log of fixed-size segments.  Each segment starts with
+ * a summary block describing every payload block (the information the
+ * cleaner and roll-forward recovery need), followed by payload blocks:
+ * file data, indirect blocks, inode blocks (16 packed inodes) and
+ * inode-map chunks.  The checkpoint stores the inode-map chunk
+ * addresses and the segment usage table; recovery rolls the log
+ * forward from the last checkpoint by following the summary chain
+ * (§3.1: "To recover from a file system crash, the LFS server need
+ * only process the log from the position of the last checkpoint").
+ */
+
+#ifndef RAID2_LFS_FORMAT_HH
+#define RAID2_LFS_FORMAT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace raid2::lfs {
+
+/** Absolute device block number; 0 (the superblock) doubles as null. */
+using BlockAddr = std::uint64_t;
+constexpr BlockAddr nullAddr = 0;
+
+using InodeNum = std::uint32_t;
+constexpr InodeNum nullIno = 0;
+
+constexpr std::uint32_t superMagic = 0x4c465321;      // "LFS!"
+constexpr std::uint32_t summaryMagic = 0x5345474d;    // "SEGM"
+constexpr std::uint32_t checkpointMagic = 0x43484b50; // "CHKP"
+constexpr std::uint32_t formatVersion = 1;
+
+constexpr unsigned numDirect = 12;
+constexpr std::uint32_t inodeBytes = 256;
+
+/** File types stored in DiskInode::type. */
+enum class FileType : std::uint16_t { Free = 0, Regular = 1, Directory = 2 };
+
+/** What a segment payload block holds (summary bookkeeping). */
+enum class BlockKind : std::uint32_t {
+    Invalid = 0,
+    Data = 1,      // file/dir contents; aux = file block number
+    InodeBlock = 2, // 16 packed inodes; aux unused
+    ImapChunk = 3, // inode-map chunk; aux = chunk index
+    Ind1 = 4,      // single-indirect block; aux unused
+    Ind2Root = 5,  // double-indirect root; aux unused
+    Ind2Child = 6, // double-indirect child; aux = child index
+};
+
+/** Simple FNV-1a over a byte range (format checksums). */
+inline std::uint32_t
+fnv1a(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0x811c9dc5)
+{
+    std::uint32_t h = seed;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+#pragma pack(push, 1)
+
+/** Block 0 of the device. */
+struct Superblock
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t blockSize;
+    std::uint32_t segBlocks;     // blocks per segment incl. summary
+    std::uint64_t numSegments;
+    std::uint64_t firstSegBlock; // device block of segment 0
+    std::uint32_t maxInodes;
+    std::uint32_t cpBlocks;      // blocks per checkpoint region
+    std::uint64_t cp0Block;
+    std::uint64_t cp1Block;
+    std::uint32_t checksum;      // over all fields above
+
+    std::uint32_t computeChecksum() const;
+    bool valid() const;
+
+    std::uint64_t segmentStartBlock(std::uint64_t seg) const
+    {
+        return firstSegBlock + seg * segBlocks;
+    }
+    std::uint64_t segmentOfBlock(BlockAddr b) const
+    {
+        return (b - firstSegBlock) / segBlocks;
+    }
+    /** Blocks needed for the summary region (header + one entry per
+     *  payload block); more than one for very large segments. */
+    std::uint32_t summaryBlocksPerSegment() const;
+    std::uint32_t payloadBlocksPerSegment() const
+    {
+        return segBlocks - summaryBlocksPerSegment();
+    }
+    std::uint32_t inodesPerBlock() const
+    {
+        return blockSize / inodeBytes;
+    }
+    std::uint32_t imapEntriesPerChunk() const;
+    std::uint32_t numImapChunks() const
+    {
+        return (maxInodes + imapEntriesPerChunk() - 1) /
+               imapEntriesPerChunk();
+    }
+};
+
+/** One file or directory, 256 bytes on media. */
+struct DiskInode
+{
+    InodeNum ino;
+    std::uint16_t type;   // FileType
+    std::uint16_t nlink;
+    std::uint64_t size;
+    std::uint32_t gen;    // bumped on every reuse of the inode number
+    std::uint32_t mtime;  // coarse logical timestamp
+    std::uint64_t direct[numDirect];
+    std::uint64_t indirect;
+    std::uint64_t dindirect;
+    std::uint8_t pad[inodeBytes - (4 + 2 + 2 + 8 + 4 + 4 +
+                                   8 * numDirect + 8 + 8)];
+
+    FileType fileType() const { return static_cast<FileType>(type); }
+};
+static_assert(sizeof(DiskInode) == inodeBytes);
+
+/** Inode-map entry: where inode @c ino currently lives. */
+struct ImapEntry
+{
+    BlockAddr blockAddr;  // inode block; nullAddr = inode free
+    std::uint32_t slot;   // index within the inode block
+    std::uint32_t gen;    // generation of the current incarnation
+
+    bool allocated() const { return blockAddr != nullAddr; }
+};
+static_assert(sizeof(ImapEntry) == 16);
+
+/** Per-payload-block record in a segment summary. */
+struct SummaryEntry
+{
+    std::uint32_t kind; // BlockKind
+    InodeNum ino;
+    std::uint64_t aux;
+};
+static_assert(sizeof(SummaryEntry) == 16);
+
+/** First block of every written segment. */
+struct SummaryHeader
+{
+    std::uint32_t magic;
+    std::uint32_t count;          // payload blocks present
+    std::uint64_t segSeq;         // monotonic log sequence number
+    std::uint64_t nextSegment;    // successor segment in the log
+    std::uint32_t payloadChecksum; // over all payload block bytes
+    std::uint32_t checksum;       // over header + entries
+};
+static_assert(sizeof(SummaryHeader) == 32);
+
+/** Segment usage table entry (lives in the checkpoint region). */
+struct UsageEntry
+{
+    std::uint32_t liveBytes;
+    std::uint32_t pad;
+    std::uint64_t writeSeq; // segSeq when last written
+};
+static_assert(sizeof(UsageEntry) == 16);
+
+/** Header of a checkpoint region. */
+struct CheckpointHeader
+{
+    std::uint32_t magic;
+    std::uint32_t pad0;
+    std::uint64_t seqno;          // higher wins at mount
+    std::uint64_t logHeadSegment; // open (unwritten) segment
+    std::uint64_t nextSegSeq;     // sequence the open segment will get
+    InodeNum nextIno;
+    InodeNum rootIno;
+    std::uint32_t numImapChunks;
+    std::uint32_t numSegments;
+    std::uint32_t bodyChecksum;   // over imap addrs + usage table
+    std::uint32_t checksum;       // over this header
+};
+static_assert(sizeof(CheckpointHeader) == 56);
+
+#pragma pack(pop)
+
+inline std::uint32_t
+Superblock::computeChecksum() const
+{
+    Superblock copy = *this;
+    copy.checksum = 0;
+    return fnv1a({reinterpret_cast<const std::uint8_t *>(&copy),
+                  sizeof(copy)});
+}
+
+inline bool
+Superblock::valid() const
+{
+    return magic == superMagic && version == formatVersion &&
+           checksum == computeChecksum();
+}
+
+inline std::uint32_t
+Superblock::imapEntriesPerChunk() const
+{
+    return blockSize / sizeof(ImapEntry);
+}
+
+inline std::uint32_t
+Superblock::summaryBlocksPerSegment() const
+{
+    std::uint32_t s = 1;
+    while (sizeof(SummaryHeader) +
+               std::uint64_t(segBlocks - s) * sizeof(SummaryEntry) >
+           std::uint64_t(s) * blockSize) {
+        ++s;
+    }
+    return s;
+}
+
+} // namespace raid2::lfs
+
+#endif // RAID2_LFS_FORMAT_HH

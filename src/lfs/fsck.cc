@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Read-only consistency checker.
+ *
+ * Verifies the invariants the rest of the implementation relies on:
+ * imap entries resolve to matching inodes; every referenced block lies
+ * inside the log and inside a segment the usage table believes is
+ * live; the directory tree is connected, acyclic, and link counts
+ * match; no allocated inode is orphaned.  Used heavily by the property
+ * tests (run after random operation sequences, crashes and cleaning).
+ */
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "lfs/lfs.hh"
+#include "sim/logging.hh"
+
+namespace raid2::lfs {
+
+FsckReport
+Lfs::fsck() const
+{
+    FsckReport report;
+    const std::uint32_t bs = sb.blockSize;
+    const std::uint32_t ptrs_per = bs / sizeof(BlockAddr);
+    const std::uint64_t log_start = sb.firstSegBlock;
+    const std::uint64_t log_end =
+        sb.firstSegBlock + sb.numSegments * sb.segBlocks;
+
+    auto check_addr = [&](BlockAddr addr, const std::string &what) {
+        if (addr == nullAddr)
+            return false;
+        if (addr < log_start || addr >= log_end) {
+            report.fail(what + ": address outside the log");
+            return false;
+        }
+        const std::uint64_t seg = sb.segmentOfBlock(addr);
+        const bool open_seg =
+            segw->isOpen() && seg == segw->currentSegment();
+        if (usage[seg].liveBytes == 0 && !open_seg) {
+            report.fail(what + ": block in a segment marked clean");
+        }
+        if (addr < sb.segmentStartBlock(seg) +
+                       sb.summaryBlocksPerSegment()) {
+            report.fail(what + ": address points at a summary block");
+            return false;
+        }
+        return true;
+    };
+
+    // Pass 1: imap -> inodes.  Inodes created since the last sync live
+    // only in the cache; they are allocated too.
+    std::set<InodeNum> allocated;
+    for (const auto &[ino, inode] : inodeCache) {
+        if (inode.fileType() != FileType::Free)
+            allocated.insert(ino);
+    }
+    for (InodeNum ino = 1; ino < sb.maxInodes; ++ino) {
+        const ImapEntry &e = imap[ino];
+        if (!e.allocated())
+            continue;
+        allocated.insert(ino);
+        if (!check_addr(e.blockAddr, "imap[" + std::to_string(ino) + "]"))
+            continue;
+        if (e.slot >= sb.inodesPerBlock()) {
+            report.fail("imap slot out of range for inode " +
+                        std::to_string(ino));
+            continue;
+        }
+        std::vector<std::uint8_t> block(bs);
+        readBlockAny(e.blockAddr, {block.data(), block.size()});
+        DiskInode di;
+        std::memcpy(&di, block.data() + std::size_t(e.slot) * inodeBytes,
+                    sizeof(di));
+        // The cache may be newer than the media copy; prefer it.
+        auto it = inodeCache.find(ino);
+        const DiskInode &inode = it != inodeCache.end() ? it->second : di;
+        if (it == inodeCache.end()) {
+            if (di.ino != ino)
+                report.fail("inode block slot holds wrong inode (want " +
+                            std::to_string(ino) + ")");
+            if (di.gen != e.gen)
+                report.fail("generation mismatch for inode " +
+                            std::to_string(ino));
+        }
+        if (inode.fileType() == FileType::Free)
+            report.fail("allocated inode " + std::to_string(ino) +
+                        " has Free type");
+    }
+
+    // Pass 2: block trees.
+    for (InodeNum ino : allocated) {
+        const DiskInode &inode = getInodeConst(ino);
+        const std::string tag = "inode " + std::to_string(ino);
+        std::vector<std::uint8_t> block(bs);
+
+        for (unsigned i = 0; i < numDirect; ++i)
+            check_addr(inode.direct[i], tag + " direct");
+
+        if (inode.indirect != nullAddr &&
+            check_addr(inode.indirect, tag + " indirect")) {
+            readBlockAny(inode.indirect, {block.data(), block.size()});
+            const auto *ptrs =
+                reinterpret_cast<const BlockAddr *>(block.data());
+            for (std::uint32_t i = 0; i < ptrs_per; ++i)
+                check_addr(ptrs[i], tag + " ind-entry");
+        }
+
+        if (inode.dindirect != nullAddr &&
+            check_addr(inode.dindirect, tag + " dindirect")) {
+            readBlockAny(inode.dindirect, {block.data(), block.size()});
+            std::vector<BlockAddr> children(ptrs_per);
+            std::memcpy(children.data(), block.data(),
+                        ptrs_per * sizeof(BlockAddr));
+            for (std::uint32_t ci = 0; ci < ptrs_per; ++ci) {
+                if (children[ci] == nullAddr)
+                    continue;
+                if (!check_addr(children[ci], tag + " ind2-child"))
+                    continue;
+                readBlockAny(children[ci],
+                             {block.data(), block.size()});
+                const auto *ptrs =
+                    reinterpret_cast<const BlockAddr *>(block.data());
+                for (std::uint32_t i = 0; i < ptrs_per; ++i)
+                    check_addr(ptrs[i], tag + " ind2-entry");
+            }
+        }
+
+        const std::uint64_t max_size =
+            maxFileBlocks(bs) * std::uint64_t(bs);
+        if (inode.size > max_size)
+            report.fail(tag + " size beyond maximum");
+    }
+
+    // Pass 3: namespace.
+    if (root == nullIno || !allocated.count(root)) {
+        report.fail("missing root directory");
+        return report;
+    }
+    std::map<InodeNum, unsigned> link_count; // from directory entries
+    std::map<InodeNum, unsigned> subdir_count;
+    std::set<InodeNum> visited;
+    std::deque<InodeNum> queue{root};
+    visited.insert(root);
+    while (!queue.empty()) {
+        const InodeNum dir = queue.front();
+        queue.pop_front();
+        const DiskInode &dnode = getInodeConst(dir);
+        if (dnode.fileType() != FileType::Directory) {
+            report.fail("walked a non-directory inode " +
+                        std::to_string(dir));
+            continue;
+        }
+        std::set<std::string> names;
+        for (const DirEntry &e : readDirEntries(dnode)) {
+            if (!names.insert(e.name).second)
+                report.fail("duplicate name '" + e.name +
+                            "' in directory " + std::to_string(dir));
+            if (!allocated.count(e.ino)) {
+                report.fail("entry '" + e.name +
+                            "' references unallocated inode " +
+                            std::to_string(e.ino));
+                continue;
+            }
+            ++link_count[e.ino];
+            const DiskInode &child = getInodeConst(e.ino);
+            if (child.fileType() == FileType::Directory) {
+                ++subdir_count[dir];
+                if (!visited.insert(e.ino).second) {
+                    report.fail("directory " + std::to_string(e.ino) +
+                                " has multiple parents");
+                } else {
+                    queue.push_back(e.ino);
+                }
+            }
+        }
+    }
+
+    for (InodeNum ino : allocated) {
+        const DiskInode &inode = getInodeConst(ino);
+        if (inode.fileType() == FileType::Directory) {
+            if (!visited.count(ino)) {
+                report.fail("orphan directory " + std::to_string(ino));
+                continue;
+            }
+            const unsigned expect = 2 + subdir_count[ino];
+            if (inode.nlink != expect) {
+                report.fail("directory " + std::to_string(ino) +
+                            " nlink " + std::to_string(inode.nlink) +
+                            " != " + std::to_string(expect));
+            }
+        } else {
+            const unsigned links = link_count.count(ino)
+                                       ? link_count.at(ino)
+                                       : 0;
+            if (links == 0)
+                report.fail("orphan file " + std::to_string(ino));
+            if (inode.nlink != links) {
+                report.fail("file " + std::to_string(ino) + " nlink " +
+                            std::to_string(inode.nlink) + " != " +
+                            std::to_string(links));
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace raid2::lfs

@@ -1,0 +1,144 @@
+#include "lfs/segment_writer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace raid2::lfs {
+
+SegmentWriter::SegmentWriter(fs::BlockDevice &dev_, const Superblock &sb_)
+    : dev(dev_), sb(sb_)
+{
+}
+
+void
+SegmentWriter::open(std::uint64_t seg, std::uint64_t seg_seq)
+{
+    if (dirty())
+        sim::panic("SegmentWriter: opening over a dirty segment");
+    if (seg >= sb.numSegments)
+        sim::panic("SegmentWriter: segment %llu out of range",
+                   (unsigned long long)seg);
+    opened = true;
+    segIdx = seg;
+    seq = seg_seq;
+    entries.clear();
+    payload.clear();
+}
+
+bool
+SegmentWriter::hasSpace(unsigned blocks) const
+{
+    return entries.size() + blocks <= sb.payloadBlocksPerSegment();
+}
+
+BlockAddr
+SegmentWriter::add(BlockKind kind, InodeNum ino, std::uint64_t aux,
+                   std::span<const std::uint8_t> data)
+{
+    if (!opened)
+        sim::panic("SegmentWriter: add with no open segment");
+    if (!hasSpace())
+        sim::panic("SegmentWriter: segment overflow");
+    if (data.size() != sb.blockSize)
+        sim::panic("SegmentWriter: bad block size %zu", data.size());
+
+    const BlockAddr addr = payloadBase() + entries.size();
+    entries.push_back(SummaryEntry{static_cast<std::uint32_t>(kind), ino,
+                                   aux});
+    payload.insert(payload.end(), data.begin(), data.end());
+    return addr;
+}
+
+bool
+SegmentWriter::contains(BlockAddr addr) const
+{
+    return opened && addr >= payloadBase() &&
+           addr < payloadBase() + entries.size();
+}
+
+void
+SegmentWriter::updateInPlace(BlockAddr addr,
+                             std::span<const std::uint8_t> data)
+{
+    if (!contains(addr))
+        sim::panic("SegmentWriter: update of non-buffered block");
+    if (data.size() != sb.blockSize)
+        sim::panic("SegmentWriter: bad block size %zu", data.size());
+    const std::size_t slot =
+        static_cast<std::size_t>(addr - payloadBase());
+    std::memcpy(payload.data() + slot * sb.blockSize, data.data(),
+                sb.blockSize);
+}
+
+void
+SegmentWriter::readBuffered(BlockAddr addr,
+                            std::span<std::uint8_t> out) const
+{
+    if (!contains(addr))
+        sim::panic("SegmentWriter: read of non-buffered block");
+    if (out.size() != sb.blockSize)
+        sim::panic("SegmentWriter: bad block size %zu", out.size());
+    const std::size_t slot =
+        static_cast<std::size_t>(addr - payloadBase());
+    std::memcpy(out.data(), payload.data() + slot * sb.blockSize,
+                sb.blockSize);
+}
+
+void
+SegmentWriter::writeOut(std::uint64_t next_segment)
+{
+    if (!opened)
+        sim::panic("SegmentWriter: writeOut with no open segment");
+    if (entries.empty())
+        sim::panic("SegmentWriter: writeOut of empty segment");
+
+    // Build the summary region (may span several blocks for large
+    // segments).
+    const std::uint32_t summary_blocks = sb.summaryBlocksPerSegment();
+    std::vector<std::uint8_t> summary(
+        std::size_t(summary_blocks) * sb.blockSize, 0);
+    SummaryHeader hdr{};
+    hdr.magic = summaryMagic;
+    hdr.count = static_cast<std::uint32_t>(entries.size());
+    hdr.segSeq = seq;
+    hdr.nextSegment = next_segment;
+    hdr.payloadChecksum = fnv1a({payload.data(), payload.size()});
+    hdr.checksum = 0;
+
+    std::memcpy(summary.data(), &hdr, sizeof(hdr));
+    std::memcpy(summary.data() + sizeof(hdr), entries.data(),
+                entries.size() * sizeof(SummaryEntry));
+    const std::uint32_t csum =
+        fnv1a({summary.data(), summary.size()});
+    std::memcpy(summary.data() + offsetof(SummaryHeader, checksum), &csum,
+                sizeof(csum));
+
+    // Summary first, then the payload blocks, sequentially.  Pad the
+    // write out to the full segment extent: a segment usually closes a
+    // few slots short (pointer-block reservation), and padding keeps
+    // the device write exactly one full stripe — the efficient RAID-5
+    // case (§3.1).  The summary's count ignores the padding.
+    dev.writeBlocks(sb.segmentStartBlock(segIdx), summary_blocks,
+                    {summary.data(), summary.size()});
+    dev.writeBlocks(payloadBase(), entries.size(),
+                    {payload.data(), payload.size()});
+    const std::uint32_t pad_blocks =
+        sb.payloadBlocksPerSegment() -
+        static_cast<std::uint32_t>(entries.size());
+    if (pad_blocks > 0) {
+        std::vector<std::uint8_t> zero(sb.blockSize, 0);
+        for (std::uint32_t i = 0; i < pad_blocks; ++i) {
+            dev.writeBlock(payloadBase() + entries.size() + i,
+                           {zero.data(), zero.size()});
+        }
+    }
+
+    ++written;
+    payloadBytes += payload.size();
+    entries.clear();
+    payload.clear();
+    opened = false;
+}
+
+} // namespace raid2::lfs

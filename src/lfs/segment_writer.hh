@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The open log segment.
+ *
+ * Dirty blocks accumulate in an in-memory segment buffer with their
+ * final device addresses already assigned; when the buffer fills (or
+ * the file system syncs) the whole segment goes to the device as one
+ * large sequential write — the key LFS idea ("LFS ... writes all file
+ * data and metadata to a sequential append-only log", §3.1).  Repeated
+ * updates to a block that is still in the open segment are folded in
+ * place, so a burst of small writes to one file costs one log slot.
+ */
+
+#ifndef RAID2_LFS_SEGMENT_WRITER_HH
+#define RAID2_LFS_SEGMENT_WRITER_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/block_device.hh"
+#include "lfs/format.hh"
+
+namespace raid2::lfs {
+
+/** In-memory image of the segment currently being filled. */
+class SegmentWriter
+{
+  public:
+    SegmentWriter(fs::BlockDevice &dev, const Superblock &sb);
+
+    /** Begin filling segment @p seg with log sequence @p seg_seq. */
+    void open(std::uint64_t seg, std::uint64_t seg_seq);
+
+    bool isOpen() const { return opened; }
+    std::uint64_t currentSegment() const { return segIdx; }
+    std::uint64_t segSeq() const { return seq; }
+    unsigned usedSlots() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+    bool hasSpace(unsigned blocks = 1) const;
+    bool dirty() const { return !entries.empty(); }
+
+    /**
+     * Append a block; returns its (final) device address.
+     * @pre hasSpace()
+     */
+    BlockAddr add(BlockKind kind, InodeNum ino, std::uint64_t aux,
+                  std::span<const std::uint8_t> data);
+
+    /** True if @p addr is a slot of the open segment. */
+    bool contains(BlockAddr addr) const;
+
+    /** Overwrite the buffered copy of @p addr (must be contained). */
+    void updateInPlace(BlockAddr addr,
+                       std::span<const std::uint8_t> data);
+
+    /** Read a buffered block (must be contained). */
+    void readBuffered(BlockAddr addr, std::span<std::uint8_t> out) const;
+
+    /**
+     * Write summary + payload to the device and reset.  @p next_segment
+     * is recorded in the summary so recovery can follow the chain.
+     */
+    void writeOut(std::uint64_t next_segment);
+
+    /** Total segments written to the device so far. */
+    std::uint64_t segmentsWritten() const { return written; }
+    /** Total payload bytes written to the device so far. */
+    std::uint64_t payloadBytesWritten() const { return payloadBytes; }
+
+  private:
+    std::uint64_t payloadBase() const
+    {
+        return sb.segmentStartBlock(segIdx) +
+               sb.summaryBlocksPerSegment();
+    }
+
+    fs::BlockDevice &dev;
+    const Superblock &sb;
+
+    bool opened = false;
+    std::uint64_t segIdx = 0;
+    std::uint64_t seq = 0;
+    std::vector<SummaryEntry> entries;
+    std::vector<std::uint8_t> payload; // entries.size() * blockSize
+    std::uint64_t written = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+} // namespace raid2::lfs
+
+#endif // RAID2_LFS_SEGMENT_WRITER_HH

@@ -1,0 +1,36 @@
+#include "net/ethernet.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace raid2::net {
+
+EthernetLink::EthernetLink(sim::EventQueue &eq_, std::string name)
+    : eq(eq_), _name(std::move(name)),
+      _wire(eq_, _name + ".wire",
+            sim::Service::Config{cal::ethernetMBs,
+                                 cal::ethernetPacketOverhead, 1})
+{
+}
+
+void
+EthernetLink::send(std::uint64_t bytes, std::function<void()> done)
+{
+    std::uint64_t left = std::max<std::uint64_t>(bytes, 1);
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    while (left > 0) {
+        const std::uint64_t pkt = std::min(left, cal::ethernetMTU);
+        left -= pkt;
+        ++_packets;
+        const bool last = left == 0;
+        _wire.submit(pkt, last ? std::function<void()>([done_ptr] {
+            if (*done_ptr)
+                (*done_ptr)();
+        })
+                               : std::function<void()>());
+    }
+}
+
+} // namespace raid2::net

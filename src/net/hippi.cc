@@ -1,0 +1,52 @@
+#include "net/hippi.hh"
+
+#include <utility>
+
+namespace raid2::net {
+
+HippiChannel::HippiChannel(sim::EventQueue &eq_, std::string name,
+                           sim::Service &src_port, sim::Service &dst_port,
+                           sim::Tick setup_overhead)
+    : eq(eq_), _name(std::move(name)), srcPort(src_port),
+      dstPort(dst_port), setup(setup_overhead)
+{
+}
+
+void
+HippiChannel::send(std::uint64_t bytes, std::vector<sim::Stage> pre,
+                   std::vector<sim::Stage> post,
+                   std::function<void()> done)
+{
+    ++_packets;
+    _bytes += bytes;
+
+    std::vector<sim::Stage> stages;
+    for (auto &st : pre)
+        stages.push_back(st);
+    stages.push_back(sim::Stage(srcPort));
+    stages.push_back(sim::Stage(dstPort));
+    for (auto &st : post)
+        stages.push_back(st);
+
+    // The setup cost serializes on the source port: the host pokes the
+    // HIPPI and XBUS control registers before data can move.
+    srcPort.submitBusyTime(setup, nullptr);
+    sim::Pipeline::start(eq, stages, bytes, cal::xbusChunkBytes,
+                         std::move(done));
+}
+
+HippiLoopback::HippiLoopback(sim::EventQueue &eq, xbus::XbusBoard &board_)
+    : board(board_),
+      channel(eq, board_.name() + ".hippiloop", board_.hippiSrcPort(),
+              board_.hippiDstPort())
+{
+}
+
+void
+HippiLoopback::transfer(std::uint64_t bytes, std::function<void()> done)
+{
+    channel.send(bytes, {sim::Stage(board.memory())},
+                 {sim::Stage(board.memory())}, std::move(done));
+}
+
+} // namespace raid2::net

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ultra Network Technologies ring network model.
+ *
+ * The Ultranet is the 100 MB/s ring that connects XBUS HIPPI
+ * interfaces to supercomputer and workstation clients (Fig 1).  We
+ * model the ring as a shared service with a fixed propagation latency;
+ * endpoints attach with their own NIC stages.
+ */
+
+#ifndef RAID2_NET_ULTRANET_HH
+#define RAID2_NET_ULTRANET_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/service.hh"
+
+namespace raid2::net {
+
+/** Shared ring fabric. */
+class UltranetFabric
+{
+  public:
+    UltranetFabric(sim::EventQueue &eq, std::string name,
+                   double mb_per_sec = 100.0,
+                   sim::Tick hop_latency = sim::usToTicks(50));
+
+    /**
+     * Move @p bytes across the ring between two endpoint stage lists.
+     * The ring segment itself is one shared stage; @p hop_latency is
+     * added once as pure latency.
+     */
+    void transfer(std::uint64_t bytes, std::vector<sim::Stage> src_stages,
+                  std::vector<sim::Stage> dst_stages,
+                  std::function<void()> done);
+
+    sim::Service &ring() { return _ring; }
+
+  private:
+    sim::EventQueue &eq;
+    std::string _name;
+    sim::Service _ring;
+    sim::Tick hopLatency;
+};
+
+} // namespace raid2::net
+
+#endif // RAID2_NET_ULTRANET_HH

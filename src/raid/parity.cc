@@ -1,0 +1,45 @@
+#include "raid/parity.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace raid2::raid {
+
+void
+xorInto(std::uint8_t *dst, const std::uint8_t *src, std::size_t n)
+{
+    // Word-at-a-time main loop; memcpy keeps it alias/alignment safe
+    // and compiles to plain loads/stores.
+    std::size_t i = 0;
+    for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+        std::uint64_t a, b;
+        std::memcpy(&a, dst + i, sizeof(a));
+        std::memcpy(&b, src + i, sizeof(b));
+        a ^= b;
+        std::memcpy(dst + i, &a, sizeof(a));
+    }
+    for (; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+void
+xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src)
+{
+    if (dst.size() != src.size())
+        sim::panic("xorInto: size mismatch (%zu vs %zu)", dst.size(),
+                   src.size());
+    xorInto(dst.data(), src.data(), dst.size());
+}
+
+bool
+allZero(std::span<const std::uint8_t> buf)
+{
+    for (std::uint8_t b : buf) {
+        if (b != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace raid2::raid

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Functional parity (XOR) helpers.
+ *
+ * The XBUS parity engine's arithmetic: RAID Levels 3 and 5 protect a
+ * stripe with the bytewise XOR of its data units, so any single lost
+ * unit is the XOR of the survivors.  These helpers are the functional
+ * counterpart of xbus::ParityEngine (which models only time).
+ */
+
+#ifndef RAID2_RAID_PARITY_HH
+#define RAID2_RAID_PARITY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace raid2::raid {
+
+/** dst[i] ^= src[i] for i in [0, n). */
+void xorInto(std::uint8_t *dst, const std::uint8_t *src, std::size_t n);
+
+/** dst ^= src (sizes must match). */
+void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+
+/** True if every byte of @p buf is zero (parity-check helper). */
+bool allZero(std::span<const std::uint8_t> buf);
+
+} // namespace raid2::raid
+
+#endif // RAID2_RAID_PARITY_HH

@@ -1,0 +1,238 @@
+#include "raid/raid_array.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "raid/parity.hh"
+#include "sim/logging.hh"
+
+namespace raid2::raid {
+
+RaidArray::RaidArray(const LayoutConfig &cfg, std::uint64_t disk_bytes)
+    : _layout(cfg, disk_bytes), diskBytes(disk_bytes),
+      disks(cfg.numDisks, std::vector<std::uint8_t>(disk_bytes, 0)),
+      failed(cfg.numDisks, false)
+{
+}
+
+unsigned
+RaidArray::failedCount() const
+{
+    unsigned n = 0;
+    for (bool f : failed)
+        n += f ? 1 : 0;
+    return n;
+}
+
+std::span<const std::uint8_t>
+RaidArray::diskData(unsigned d) const
+{
+    return {disks.at(d).data(), disks.at(d).size()};
+}
+
+std::span<std::uint8_t>
+RaidArray::diskData(unsigned d)
+{
+    return {disks.at(d).data(), disks.at(d).size()};
+}
+
+void
+RaidArray::recomputeParity(std::uint64_t stripe)
+{
+    const std::uint64_t unit = _layout.unitBytes();
+    const std::uint64_t base = stripe * unit;
+    const unsigned pd = _layout.parityDisk(stripe);
+    std::vector<std::uint8_t> parity(unit, 0);
+    for (unsigned k = 0; k < _layout.dataUnitsPerStripe(); ++k) {
+        const unsigned d = _layout.dataDisk(stripe, k);
+        xorInto(parity.data(), disks[d].data() + base,
+                static_cast<std::size_t>(unit));
+    }
+    std::memcpy(disks[pd].data() + base, parity.data(),
+                static_cast<std::size_t>(unit));
+}
+
+void
+RaidArray::write(std::uint64_t off, std::span<const std::uint8_t> data)
+{
+    if (data.empty())
+        return;
+    const RaidLevel level = _layout.level();
+
+    if (level == RaidLevel::Raid3) {
+        for (std::uint64_t i = 0; i < data.size(); ++i) {
+            unsigned d;
+            std::uint64_t db;
+            _layout.mapByte(off + i, d, db);
+            disks[d][db] = data[i];
+        }
+        const std::uint64_t row_bytes = _layout.stripeDataBytes();
+        const std::uint64_t r0 = off / row_bytes;
+        const std::uint64_t r1 = (off + data.size() - 1) / row_bytes;
+        for (std::uint64_t r = r0; r <= r1; ++r)
+            recomputeParity(r);
+        return;
+    }
+
+    for (const DiskExtent &e :
+         _layout.mapRange(off, data.size(), false)) {
+        const std::uint8_t *src = data.data() + (e.logicalOffset - off);
+        std::memcpy(disks[e.disk].data() + e.diskOffset, src,
+                    static_cast<std::size_t>(e.bytes));
+        if (level == RaidLevel::Raid1) {
+            const unsigned m = _layout.mirrorDisk(e.disk);
+            std::memcpy(disks[m].data() + e.diskOffset, src,
+                        static_cast<std::size_t>(e.bytes));
+        }
+    }
+
+    if (level == RaidLevel::Raid5) {
+        const std::uint64_t s0 = _layout.stripeOf(off);
+        const std::uint64_t s1 = _layout.stripeOf(off + data.size() - 1);
+        for (std::uint64_t s = s0; s <= s1; ++s)
+            recomputeParity(s);
+    }
+}
+
+void
+RaidArray::reconstructRange(unsigned dead, std::uint64_t disk_off,
+                            std::span<std::uint8_t> out) const
+{
+    // Every aligned byte position forms a parity group across all
+    // disks, so the missing disk's bytes are the XOR of the others.
+    std::fill(out.begin(), out.end(), 0);
+    for (unsigned d = 0; d < disks.size(); ++d) {
+        if (d == dead)
+            continue;
+        if (failed[d])
+            sim::fatal("RaidArray: double failure (disks %u and %u)", dead,
+                       d);
+        xorInto(out.data(), disks[d].data() + disk_off, out.size());
+    }
+}
+
+void
+RaidArray::read(std::uint64_t off, std::span<std::uint8_t> out) const
+{
+    if (out.empty())
+        return;
+    const RaidLevel level = _layout.level();
+
+    if (level == RaidLevel::Raid3) {
+        for (std::uint64_t i = 0; i < out.size(); ++i) {
+            unsigned d;
+            std::uint64_t db;
+            _layout.mapByte(off + i, d, db);
+            if (!failed[d]) {
+                out[i] = disks[d][db];
+            } else {
+                std::uint8_t byte = 0;
+                reconstructRange(d, db, {&byte, 1});
+                out[i] = byte;
+            }
+        }
+        return;
+    }
+
+    for (const DiskExtent &e :
+         _layout.mapRange(off, out.size(), false)) {
+        std::uint8_t *dst = out.data() + (e.logicalOffset - off);
+        unsigned src_disk = e.disk;
+        if (failed[src_disk]) {
+            if (level == RaidLevel::Raid1) {
+                src_disk = _layout.mirrorDisk(e.disk);
+                if (failed[src_disk])
+                    sim::fatal("RaidArray: mirror pair %u/%u both failed",
+                               e.disk, src_disk);
+            } else if (level == RaidLevel::Raid5) {
+                reconstructRange(e.disk, e.diskOffset,
+                                 {dst, static_cast<std::size_t>(e.bytes)});
+                continue;
+            } else {
+                sim::fatal("RaidArray: RAID-0 cannot survive disk %u",
+                           e.disk);
+            }
+        }
+        std::memcpy(dst, disks[src_disk].data() + e.diskOffset,
+                    static_cast<std::size_t>(e.bytes));
+    }
+}
+
+void
+RaidArray::failDisk(unsigned d)
+{
+    if (d >= disks.size())
+        sim::panic("failDisk: bad disk %u", d);
+    failed[d] = true;
+    std::fill(disks[d].begin(), disks[d].end(), 0xde);
+}
+
+void
+RaidArray::rebuildDisk(unsigned d)
+{
+    if (d >= disks.size())
+        sim::panic("rebuildDisk: bad disk %u", d);
+    if (!failed[d])
+        return;
+    failed[d] = false;
+
+    const RaidLevel level = _layout.level();
+    if (level == RaidLevel::Raid1) {
+        const unsigned half = _layout.numDisks() / 2;
+        const unsigned partner =
+            d < half ? _layout.mirrorDisk(d) : d - half;
+        if (failed[partner])
+            sim::fatal("rebuildDisk: mirror partner %u also failed",
+                       partner);
+        disks[d] = disks[partner];
+        return;
+    }
+    if (level == RaidLevel::Raid0)
+        sim::fatal("rebuildDisk: RAID-0 has no redundancy");
+
+    // Levels 3/5: the whole disk is the XOR of the survivors over the
+    // parity-covered region.
+    const std::uint64_t covered =
+        _layout.numStripes() * _layout.unitBytes();
+    std::fill(disks[d].begin(), disks[d].end(), 0);
+    reconstructRange(d, 0, {disks[d].data(),
+                            static_cast<std::size_t>(covered)});
+}
+
+bool
+RaidArray::redundancyConsistent() const
+{
+    const RaidLevel level = _layout.level();
+    if (level == RaidLevel::Raid0)
+        return true;
+    if (failedCount() > 0)
+        return false;
+
+    if (level == RaidLevel::Raid1) {
+        const unsigned half = _layout.numDisks() / 2;
+        for (unsigned d = 0; d < half; ++d) {
+            if (disks[d] != disks[_layout.mirrorDisk(d)])
+                return false;
+        }
+        return true;
+    }
+
+    const std::uint64_t covered =
+        _layout.numStripes() * _layout.unitBytes();
+    std::vector<std::uint8_t> acc(
+        static_cast<std::size_t>(std::min<std::uint64_t>(covered,
+                                                         1u << 20)));
+    // Check in chunks to bound memory.
+    for (std::uint64_t base = 0; base < covered; base += acc.size()) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(acc.size(), covered - base));
+        std::fill(acc.begin(), acc.begin() + n, 0);
+        for (const auto &disk : disks)
+            xorInto(acc.data(), disk.data() + base, n);
+        if (!allZero({acc.data(), n}))
+            return false;
+    }
+    return true;
+}
+
+} // namespace raid2::raid

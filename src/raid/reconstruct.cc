@@ -1,0 +1,67 @@
+#include "raid/reconstruct.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::raid {
+
+RebuildJob::RebuildJob(sim::EventQueue &eq_, SimArray &array_,
+                       unsigned dead_, unsigned window_)
+    : eq(eq_), array(array_), dead(dead_), window(window_),
+      total(array_.layout().numStripes())
+{
+    if (!array.isFailed(dead))
+        sim::fatal("RebuildJob: disk %u is not failed", dead);
+    if (window == 0)
+        sim::fatal("RebuildJob: zero window");
+}
+
+void
+RebuildJob::start(std::function<void()> done_)
+{
+    done = std::move(done_);
+    pump();
+}
+
+void
+RebuildJob::pump()
+{
+    while (inFlight < window && next < total)
+        rebuildStripe(next++);
+    if (inFlight == 0 && next == total) {
+        array.restoreDisk(dead);
+        if (done)
+            done();
+    }
+}
+
+void
+RebuildJob::rebuildStripe(std::uint64_t stripe)
+{
+    ++inFlight;
+    const std::uint64_t unit = array.layout().unitBytes();
+    const std::uint64_t base = stripe * unit;
+    const unsigned n = array.layout().numDisks();
+
+    auto remaining = std::make_shared<unsigned>(n - 1);
+    auto on_read = [this, remaining, base, unit, n] {
+        if (--*remaining > 0)
+            return;
+        array.board().parity().pass(
+            unit * (n - 1), unit, [this, base, unit] {
+                array.rawDiskWrite(dead, base, unit, [this] {
+                    ++_stripesDone;
+                    --inFlight;
+                    pump();
+                });
+            });
+    };
+    for (unsigned d = 0; d < n; ++d) {
+        if (d == dead)
+            continue;
+        if (array.isFailed(d))
+            sim::fatal("RebuildJob: second failure on disk %u", d);
+        array.rawDiskRead(d, base, unit, on_read);
+    }
+}
+
+} // namespace raid2::raid

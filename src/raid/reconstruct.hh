@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Timed on-line reconstruction of a failed member disk.
+ *
+ * Sweeps the array stripe by stripe: read the surviving units, run a
+ * parity pass, write the result to the replacement drive.  A window of
+ * concurrent stripes keeps the datapath busy while bounding XBUS
+ * buffer use.  (Reliability policy itself is out of the paper's scope
+ * — "Techniques for maximizing reliability are beyond the scope of
+ * this paper" §2.3 — but degraded operation is needed by the examples
+ * and the RAID-3-vs-5 comparison of §4.2.)
+ */
+
+#ifndef RAID2_RAID_RECONSTRUCT_HH
+#define RAID2_RAID_RECONSTRUCT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "raid/sim_array.hh"
+
+namespace raid2::raid {
+
+/** One timed rebuild of a failed disk in a SimArray. */
+class RebuildJob
+{
+  public:
+    /**
+     * @param array   degraded array (disk @p dead must be failed)
+     * @param dead    the disk being rebuilt in place
+     * @param window  concurrent stripes in flight
+     */
+    RebuildJob(sim::EventQueue &eq, SimArray &array, unsigned dead,
+               unsigned window = 4);
+
+    /** Begin; @p done fires when the last stripe is written. */
+    void start(std::function<void()> done);
+
+    std::uint64_t stripesDone() const { return _stripesDone; }
+    std::uint64_t stripesTotal() const { return total; }
+
+  private:
+    void pump();
+    void rebuildStripe(std::uint64_t stripe);
+
+    sim::EventQueue &eq;
+    SimArray &array;
+    unsigned dead;
+    unsigned window;
+    std::uint64_t next = 0;
+    std::uint64_t total = 0;
+    std::uint64_t _stripesDone = 0;
+    unsigned inFlight = 0;
+    std::function<void()> done;
+};
+
+} // namespace raid2::raid
+
+#endif // RAID2_RAID_RECONSTRUCT_HH

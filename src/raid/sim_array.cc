@@ -1,0 +1,458 @@
+#include "raid/sim_array.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "config/calibration.hh"
+#include "sim/logging.hh"
+
+namespace raid2::raid {
+
+SimArray::SimArray(sim::EventQueue &eq_, xbus::XbusBoard &board,
+                   std::string name, LayoutConfig layout_cfg,
+                   const ArrayTopology &topo_)
+    : eq(eq_), _board(board), _name(std::move(name)), topo(topo_)
+{
+    if (topo.numCougars == 0 ||
+        topo.numCougars > xbus::XbusBoard::numVmePorts) {
+        sim::fatal("SimArray %s: %u controllers won't fit the XBUS VME "
+                   "ports", _name.c_str(), topo.numCougars);
+    }
+
+    layout_cfg.numDisks = topo.numDisks();
+    _layout = std::make_unique<RaidLayout>(layout_cfg,
+                                           topo.profile->capacityBytes());
+
+    for (unsigned c = 0; c < topo.totalControllers(); ++c) {
+        cougars.push_back(std::make_unique<scsi::CougarController>(
+            eq, _name + ".cougar" + std::to_string(c)));
+    }
+
+    const unsigned n = topo.numDisks();
+    for (unsigned i = 0; i < n; ++i) {
+        disks.push_back(std::make_unique<disk::DiskModel>(
+            eq, _name + ".disk" + std::to_string(i), *topo.profile,
+            topo.elevatorScheduling ? disk::makeElevatorScheduler()
+                                    : disk::makeFcfsScheduler()));
+        auto &ctrl = *cougars[cougarOf(i)];
+        auto &str = ctrl.string(stringOf(i));
+        str.attach(disks.back().get());
+        channels.push_back(std::make_unique<scsi::DiskChannel>(
+            eq, *disks.back(), str, ctrl));
+    }
+    failedDisks.assign(n, false);
+}
+
+SimArray::~SimArray() = default;
+
+unsigned
+SimArray::cougarOf(unsigned d) const
+{
+    const unsigned g = d / topo.disksPerString;
+    return g % topo.totalControllers();
+}
+
+unsigned
+SimArray::stringOf(unsigned d) const
+{
+    const unsigned g = d / topo.disksPerString;
+    return g / topo.totalControllers();
+}
+
+bool
+SimArray::degraded() const
+{
+    return std::any_of(failedDisks.begin(), failedDisks.end(),
+                       [](bool f) { return f; });
+}
+
+void
+SimArray::failDisk(unsigned d)
+{
+    failedDisks.at(d) = true;
+}
+
+void
+SimArray::restoreDisk(unsigned d)
+{
+    failedDisks.at(d) = false;
+}
+
+std::vector<sim::Stage>
+SimArray::readStages(unsigned d)
+{
+    const unsigned c = cougarOf(d);
+    if (c < topo.numCougars)
+        return _board.diskToMemory(c);
+    // Fifth controller hangs off the slow control-bus link (Table 1).
+    return {sim::Stage(_board.hostLink(), cal::controlLinkReadMBs),
+            sim::Stage(_board.memory())};
+}
+
+std::vector<sim::Stage>
+SimArray::writeStages(unsigned d)
+{
+    const unsigned c = cougarOf(d);
+    if (c < topo.numCougars)
+        return _board.memoryToDisk(c);
+    return {sim::Stage(_board.memory()),
+            sim::Stage(_board.hostLink(), cal::controlLinkWriteMBs)};
+}
+
+void
+SimArray::rawDiskRead(unsigned d, std::uint64_t disk_offset,
+                      std::uint64_t bytes, std::function<void()> done)
+{
+    channels.at(d)->read(disk_offset, bytes, readStages(d),
+                         std::move(done));
+}
+
+void
+SimArray::rawDiskWrite(unsigned d, std::uint64_t disk_offset,
+                       std::uint64_t bytes, std::function<void()> done)
+{
+    channels.at(d)->write(disk_offset, bytes, writeStages(d),
+                          std::move(done));
+}
+
+void
+SimArray::issueExtentRead(const DiskExtent &e, std::function<void()> done)
+{
+    unsigned d = e.disk;
+    if (_layout->level() == RaidLevel::Raid1) {
+        // Balance mirror reads by alternating stripe rows.
+        if ((e.diskOffset / _layout->unitBytes()) % 2 == 1 &&
+            !failedDisks[_layout->mirrorDisk(d)]) {
+            d = _layout->mirrorDisk(d);
+        }
+    }
+    if (failedDisks[d]) {
+        if (_layout->level() == RaidLevel::Raid1) {
+            const unsigned half = _layout->numDisks() / 2;
+            d = d < half ? _layout->mirrorDisk(d) : d - half;
+            if (failedDisks[d])
+                sim::fatal("SimArray %s: mirror pair both failed",
+                           _name.c_str());
+        } else {
+            issueDegradedRead(e, std::move(done));
+            return;
+        }
+    }
+    channels[d]->read(e.diskOffset, e.bytes, readStages(d),
+                      std::move(done));
+}
+
+void
+SimArray::issueExtentWrite(const DiskExtent &e, std::function<void()> done)
+{
+    const unsigned d = e.disk;
+    if (failedDisks[d]) {
+        // Writing to a dead disk is a no-op in time (the data is
+        // covered by parity / the mirror); complete immediately.
+        eq.scheduleIn(0, std::move(done));
+        return;
+    }
+    channels[d]->write(e.diskOffset, e.bytes, writeStages(d),
+                       std::move(done));
+}
+
+void
+SimArray::issueDegradedRead(const DiskExtent &e,
+                            std::function<void()> done)
+{
+    if (_layout->level() != RaidLevel::Raid5 &&
+        _layout->level() != RaidLevel::Raid3) {
+        sim::fatal("SimArray %s: disk %u failed and %s has no parity",
+                   _name.c_str(), e.disk,
+                   raidLevelName(_layout->level()));
+    }
+    // Read the same disk-offset range from every survivor, then XOR.
+    const unsigned n = _layout->numDisks();
+    auto remaining = std::make_shared<unsigned>(n - 1);
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    const std::uint64_t bytes = e.bytes;
+    auto on_read = [this, remaining, done_ptr, bytes, n] {
+        if (--*remaining > 0)
+            return;
+        _board.parity().pass(bytes * (n - 1), bytes, [done_ptr] {
+            if (*done_ptr)
+                (*done_ptr)();
+        });
+    };
+    for (unsigned d = 0; d < n; ++d) {
+        if (d == e.disk)
+            continue;
+        if (failedDisks[d])
+            sim::fatal("SimArray %s: double disk failure", _name.c_str());
+        channels[d]->read(e.diskOffset, e.bytes, readStages(d), on_read);
+    }
+}
+
+void
+SimArray::read(std::uint64_t off, std::uint64_t len,
+               std::function<void()> done)
+{
+    ++_reads;
+    _bytesRead += len;
+    const sim::Tick start = eq.now();
+
+    auto extents = _layout->mapRange(off, len);
+    auto remaining = std::make_shared<std::size_t>(extents.size());
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto finish = [this, remaining, done_ptr, start] {
+        if (--*remaining > 0)
+            return;
+        _readMs.sample(sim::ticksToMs(eq.now() - start));
+        if (*done_ptr)
+            (*done_ptr)();
+    };
+    for (const auto &e : extents)
+        issueExtentRead(e, finish);
+}
+
+void
+SimArray::lockStripe(std::uint64_t stripe, std::function<void()> run)
+{
+    auto [it, fresh] = stripeLocks.try_emplace(stripe);
+    if (fresh) {
+        run();
+        return;
+    }
+    ++_stripeLockWaits;
+    it->second.push_back(std::move(run));
+}
+
+void
+SimArray::unlockStripe(std::uint64_t stripe)
+{
+    auto it = stripeLocks.find(stripe);
+    if (it == stripeLocks.end())
+        sim::panic("unlockStripe: stripe %llu not locked",
+                   (unsigned long long)stripe);
+    if (it->second.empty()) {
+        stripeLocks.erase(it);
+        return;
+    }
+    auto next = std::move(it->second.front());
+    it->second.pop_front();
+    next();
+}
+
+void
+SimArray::writeStripeRaid5(const StripeSpan &s, std::function<void()> done)
+{
+    // Serialize on the stripe: the RMW / reconstruct sequences below
+    // must see a stable parity unit.
+    lockStripe(s.stripe, [this, s, done = std::move(done)]() mutable {
+        writeStripeRaid5Locked(
+            s, [this, stripe = s.stripe,
+                done = std::move(done)]() mutable {
+                unlockStripe(stripe);
+                if (done)
+                    done();
+            });
+    });
+}
+
+void
+SimArray::writeStripeRaid5Locked(const StripeSpan &s,
+                                 std::function<void()> done)
+{
+    const std::uint64_t unit = _layout->unitBytes();
+    const unsigned data_units = _layout->dataUnitsPerStripe();
+
+    // Slice the span into per-unit (offset, length) pieces.
+    struct UnitPiece
+    {
+        unsigned k;
+        std::uint64_t off;
+        std::uint64_t len;
+    };
+    std::vector<UnitPiece> pieces;
+    {
+        std::uint64_t in_unit = s.offsetInUnit;
+        std::uint64_t left = s.bytes;
+        for (unsigned k = s.firstUnit; left > 0; ++k) {
+            const std::uint64_t take = std::min(left, unit - in_unit);
+            pieces.push_back({k, in_unit, take});
+            left -= take;
+            in_unit = 0;
+        }
+    }
+
+    const bool full_stripe =
+        s.offsetInUnit == 0 && s.bytes == _layout->stripeDataBytes();
+
+    unsigned fully_touched = 0;
+    for (const auto &p : pieces)
+        fully_touched += (p.off == 0 && p.len == unit) ? 1 : 0;
+
+    // Read cost of the two partial-stripe algorithms, in units.
+    const unsigned rmw_reads =
+        static_cast<unsigned>(pieces.size()) + 1;
+    const unsigned recon_reads = data_units - fully_touched;
+    const bool use_rmw = !full_stripe && rmw_reads <= recon_reads;
+
+    if (full_stripe)
+        ++_fullStripes;
+    else if (use_rmw)
+        ++_rmwStripes;
+    else
+        ++_rwStripes;
+
+    // Collect the extents of each phase.
+    std::vector<DiskExtent> read_extents;
+    std::uint64_t pass_in = 0;
+    std::uint64_t pass_out = unit;
+
+    if (full_stripe) {
+        pass_in = s.bytes;
+    } else if (use_rmw) {
+        for (const auto &p : pieces)
+            read_extents.push_back(
+                _layout->dataExtent(s.stripe, p.k, p.off, p.len));
+        read_extents.push_back(_layout->parityExtent(s.stripe));
+        pass_in = 2 * s.bytes + unit;
+    } else {
+        for (unsigned k = 0; k < data_units; ++k) {
+            const auto it = std::find_if(
+                pieces.begin(), pieces.end(),
+                [k, unit](const UnitPiece &p) {
+                    return p.k == k && p.off == 0 && p.len == unit;
+                });
+            if (it == pieces.end()) {
+                read_extents.push_back(
+                    _layout->dataExtent(s.stripe, k, 0, unit));
+            }
+        }
+        pass_in = _layout->stripeDataBytes();
+    }
+
+    std::vector<DiskExtent> write_extents;
+    for (const auto &p : pieces)
+        write_extents.push_back(
+            _layout->dataExtent(s.stripe, p.k, p.off, p.len));
+    write_extents.push_back(_layout->parityExtent(s.stripe));
+
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+
+    auto do_writes = [this, write_extents, done_ptr] {
+        auto remaining =
+            std::make_shared<std::size_t>(write_extents.size());
+        auto finish = [remaining, done_ptr] {
+            if (--*remaining == 0 && *done_ptr)
+                (*done_ptr)();
+        };
+        for (const auto &e : write_extents)
+            issueExtentWrite(e, finish);
+    };
+
+    auto do_pass = [this, pass_in, pass_out,
+                    do_writes = std::move(do_writes)] {
+        _board.parity().pass(pass_in, pass_out, do_writes);
+    };
+
+    if (read_extents.empty()) {
+        do_pass();
+        return;
+    }
+    auto remaining = std::make_shared<std::size_t>(read_extents.size());
+    auto on_read = [remaining, do_pass = std::move(do_pass)] {
+        if (--*remaining == 0)
+            do_pass();
+    };
+    for (const auto &e : read_extents)
+        issueExtentRead(e, on_read);
+}
+
+void
+SimArray::write(std::uint64_t off, std::uint64_t len,
+                std::function<void()> done)
+{
+    ++_writes;
+    _bytesWritten += len;
+    const sim::Tick start = eq.now();
+
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto record = [this, done_ptr, start] {
+        _writeMs.sample(sim::ticksToMs(eq.now() - start));
+        if (*done_ptr)
+            (*done_ptr)();
+    };
+
+    const RaidLevel level = _layout->level();
+
+    if (level == RaidLevel::Raid0 || level == RaidLevel::Raid1) {
+        auto extents = _layout->mapRange(off, len);
+        const std::size_t writes_per_extent =
+            level == RaidLevel::Raid1 ? 2 : 1;
+        auto remaining = std::make_shared<std::size_t>(
+            extents.size() * writes_per_extent);
+        auto finish = [remaining, record] {
+            if (--*remaining == 0)
+                record();
+        };
+        for (const auto &e : extents) {
+            issueExtentWrite(e, finish);
+            if (level == RaidLevel::Raid1) {
+                DiskExtent m = e;
+                m.disk = _layout->mirrorDisk(e.disk);
+                issueExtentWrite(m, finish);
+            }
+        }
+        return;
+    }
+
+    if (level == RaidLevel::Raid3) {
+        // All data disks plus the parity disk participate; parity is
+        // computed on the fly as the data streams through the engine.
+        auto extents = _layout->mapRange(off, len);
+        const std::uint64_t parity_bytes =
+            extents.empty() ? 0 : extents.front().bytes;
+        auto remaining =
+            std::make_shared<std::size_t>(extents.size() + 1);
+        auto finish = [remaining, record] {
+            if (--*remaining == 0)
+                record();
+        };
+        _board.parity().pass(len, parity_bytes, [this, extents, finish,
+                                                 parity_bytes] {
+            for (const auto &e : extents)
+                issueExtentWrite(e, finish);
+            DiskExtent p;
+            p.disk = _layout->numDisks() - 1;
+            p.diskOffset = extents.front().diskOffset;
+            p.bytes = parity_bytes;
+            issueExtentWrite(p, finish);
+        });
+        return;
+    }
+
+    // RAID-5: plan per stripe.
+    auto spans = _layout->mapStripes(off, len);
+    auto remaining = std::make_shared<std::size_t>(spans.size());
+    auto finish = [remaining, record] {
+        if (--*remaining == 0)
+            record();
+    };
+    for (const auto &s : spans)
+        writeStripeRaid5(s, finish);
+}
+
+void
+SimArray::resetStats()
+{
+    _reads = _writes = 0;
+    _bytesRead = _bytesWritten = 0;
+    _rmwStripes = _rwStripes = _fullStripes = 0;
+    _readMs.reset();
+    _writeMs.reset();
+    for (auto &d : disks)
+        d->resetStats();
+}
+
+} // namespace raid2::raid

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Timed RAID array: the full RAID-II datapath.
+ *
+ * SimArray owns the member disks, SCSI strings and Cougar controllers
+ * of one XBUS board's array and maps logical array operations onto
+ * timed per-disk commands flowing disk <-> string <-> controller <->
+ * VME port <-> XBUS memory.  RAID-5 writes pick between read-modify-
+ * write and reconstruct-write per stripe and charge the parity engine
+ * for XOR passes — the machinery behind Fig 5, Table 1 and Fig 8.
+ *
+ * Disk numbering is string-major: disks 0..(S-1) sit on the *first*
+ * string of each controller in round-robin, then the second strings.
+ * This matches the prototype's striping order: a 768 KB request (12 x
+ * 64 KB units) spans exactly the first strings, and slightly larger or
+ * unaligned requests spill onto "a second string on one of the
+ * controllers" — the cause of Fig 5's dip.
+ */
+
+#ifndef RAID2_RAID_SIM_ARRAY_HH
+#define RAID2_RAID_SIM_ARRAY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/disk_model.hh"
+#include "raid/raid_layout.hh"
+#include "scsi/cougar_controller.hh"
+#include "sim/stats.hh"
+#include "xbus/xbus_board.hh"
+
+namespace raid2::raid {
+
+/** Physical wiring of an array behind one XBUS board. */
+struct ArrayTopology
+{
+    /** Controllers on the four XBUS VME ports (at most 4). */
+    unsigned numCougars = 4;
+    /** Drives per SCSI string (2 strings per controller). */
+    unsigned disksPerString = 3;
+    /** Table 1 configuration: one extra controller on the XBUS
+     *  control-bus (host VME) link. */
+    bool fifthControllerOnHostLink = false;
+    /** Drive model for every member disk. */
+    const disk::DiskProfile *profile = &disk::ibm0661();
+    /** Use C-SCAN elevator queues in the drives instead of FCFS (the
+     *  prototype's policy); an ablation knob. */
+    bool elevatorScheduling = false;
+
+    unsigned totalControllers() const
+    {
+        return numCougars + (fifthControllerOnHostLink ? 1 : 0);
+    }
+    unsigned numDisks() const
+    {
+        return totalControllers() * scsi::CougarController::numStrings *
+               disksPerString;
+    }
+};
+
+/** Timed disk array attached to one XBUS board. */
+class SimArray
+{
+  public:
+    /**
+     * @param layout_cfg level and stripe unit; numDisks is overwritten
+     *                   from the topology.
+     */
+    SimArray(sim::EventQueue &eq, xbus::XbusBoard &board, std::string name,
+             LayoutConfig layout_cfg, const ArrayTopology &topo);
+    ~SimArray();
+
+    const RaidLayout &layout() const { return *_layout; }
+    unsigned numDisks() const { return static_cast<unsigned>(disks.size()); }
+    std::uint64_t capacity() const { return _layout->dataCapacity(); }
+    xbus::XbusBoard &board() { return _board; }
+
+    /** Read [off, off+len) from the array into XBUS memory. */
+    void read(std::uint64_t off, std::uint64_t len,
+              std::function<void()> done);
+
+    /** Write [off, off+len) from XBUS memory to the array. */
+    void write(std::uint64_t off, std::uint64_t len,
+               std::function<void()> done);
+
+    /** Take a disk offline; subsequent reads reconstruct on the fly. */
+    void failDisk(unsigned d);
+    /** Bring a (rebuilt) disk back online. */
+    void restoreDisk(unsigned d);
+    bool isFailed(unsigned d) const { return failedDisks.at(d); }
+    bool degraded() const;
+
+    /** @{ Raw per-disk transfers through the full bus chain (used by
+     *  rebuild and by benches that bypass the RAID mapping). */
+    void rawDiskRead(unsigned d, std::uint64_t disk_offset,
+                     std::uint64_t bytes, std::function<void()> done);
+    void rawDiskWrite(unsigned d, std::uint64_t disk_offset,
+                      std::uint64_t bytes, std::function<void()> done);
+    /** @} */
+
+    disk::DiskModel &disk(unsigned i) { return *disks.at(i); }
+    scsi::CougarController &cougar(unsigned c) { return *cougars.at(c); }
+    unsigned numCougarControllers() const
+    {
+        return static_cast<unsigned>(cougars.size());
+    }
+
+    /** Controller index a disk hangs off. */
+    unsigned cougarOf(unsigned d) const;
+    /** String index (0/1) within that controller. */
+    unsigned stringOf(unsigned d) const;
+
+    /** @{ Statistics. */
+    std::uint64_t reads() const { return _reads; }
+    std::uint64_t writes() const { return _writes; }
+    std::uint64_t bytesRead() const { return _bytesRead; }
+    std::uint64_t bytesWritten() const { return _bytesWritten; }
+    const sim::Distribution &readLatencyMs() const { return _readMs; }
+    const sim::Distribution &writeLatencyMs() const { return _writeMs; }
+    std::uint64_t rmwStripes() const { return _rmwStripes; }
+    std::uint64_t reconstructWriteStripes() const { return _rwStripes; }
+    std::uint64_t fullStripeWrites() const { return _fullStripes; }
+    /** Writes that had to queue behind a stripe lock. */
+    std::uint64_t stripeLockWaits() const { return _stripeLockWaits; }
+    void resetStats();
+    /** @} */
+
+  private:
+    /** Issue a timed read of @p e into XBUS memory. */
+    void issueExtentRead(const DiskExtent &e,
+                         std::function<void()> done);
+    /** Issue a timed write of @p e from XBUS memory. */
+    void issueExtentWrite(const DiskExtent &e,
+                          std::function<void()> done);
+
+    /** Degraded read: rebuild @p e from the survivors + parity pass. */
+    void issueDegradedRead(const DiskExtent &e,
+                           std::function<void()> done);
+
+    /** Plan and run the write of one stripe span (RAID-5), holding
+     *  the stripe lock. */
+    void writeStripeRaid5(const StripeSpan &s,
+                          std::function<void()> done);
+    void writeStripeRaid5Locked(const StripeSpan &s,
+                                std::function<void()> done);
+
+    /** @{ Per-stripe write serialization: concurrent updates to one
+     *  stripe's parity must not interleave (the classic RAID-5 stripe
+     *  lock), or the read-modify-write sequences would race. */
+    void lockStripe(std::uint64_t stripe, std::function<void()> run);
+    void unlockStripe(std::uint64_t stripe);
+    /** @} */
+
+    std::vector<sim::Stage> readStages(unsigned d);
+    std::vector<sim::Stage> writeStages(unsigned d);
+
+    sim::EventQueue &eq;
+    xbus::XbusBoard &_board;
+    std::string _name;
+    std::unique_ptr<RaidLayout> _layout;
+    ArrayTopology topo;
+
+    std::vector<std::unique_ptr<disk::DiskModel>> disks;
+    std::vector<std::unique_ptr<scsi::CougarController>> cougars;
+    std::vector<std::unique_ptr<scsi::DiskChannel>> channels;
+    std::vector<bool> failedDisks;
+
+    /** Stripes with a write in flight -> queued waiters. */
+    std::unordered_map<std::uint64_t,
+                       std::deque<std::function<void()>>> stripeLocks;
+
+    std::uint64_t _reads = 0;
+    std::uint64_t _writes = 0;
+    std::uint64_t _bytesRead = 0;
+    std::uint64_t _bytesWritten = 0;
+    std::uint64_t _rmwStripes = 0;
+    std::uint64_t _stripeLockWaits = 0;
+    std::uint64_t _rwStripes = 0;
+    std::uint64_t _fullStripes = 0;
+    sim::Distribution _readMs;
+    sim::Distribution _writeMs;
+};
+
+} // namespace raid2::raid
+
+#endif // RAID2_RAID_SIM_ARRAY_HH

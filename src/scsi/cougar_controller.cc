@@ -1,0 +1,119 @@
+#include "scsi/cougar_controller.hh"
+
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace raid2::scsi {
+
+CougarController::CougarController(sim::EventQueue &eq, std::string name,
+                                   double mb_per_sec)
+    : _name(std::move(name)),
+      _svc(eq, _name + ".ctrl", sim::Service::Config{mb_per_sec, 0, 1})
+{
+    for (unsigned i = 0; i < numStrings; ++i) {
+        strings[i] = std::make_unique<ScsiString>(
+            eq, _name + ".string" + std::to_string(i));
+    }
+}
+
+ScsiString &
+CougarController::string(unsigned idx)
+{
+    if (idx >= numStrings)
+        sim::panic("Cougar %s: bad string index %u", _name.c_str(), idx);
+    return *strings[idx];
+}
+
+const ScsiString &
+CougarController::string(unsigned idx) const
+{
+    return const_cast<CougarController *>(this)->string(idx);
+}
+
+unsigned
+CougarController::numDisks() const
+{
+    unsigned n = 0;
+    for (const auto &s : strings)
+        n += s->disks().size();
+    return n;
+}
+
+DiskChannel::DiskChannel(sim::EventQueue &eq_, disk::DiskModel &drive,
+                         ScsiString &string, CougarController &cougar)
+    : eq(eq_), _drive(drive), _string(string), _cougar(cougar)
+{
+}
+
+void
+DiskChannel::read(std::uint64_t offset, std::uint64_t bytes,
+                  std::vector<sim::Stage> downstream,
+                  std::function<void()> done)
+{
+    auto stages = std::make_shared<std::vector<sim::Stage>>();
+    stages->push_back(sim::Stage(_string.bus()));
+    stages->push_back(sim::Stage(_cougar.svc()));
+    for (auto &st : downstream)
+        stages->push_back(st);
+
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+
+    // The track buffer lets the bus drain data *while* the media read
+    // continues: split the command into media sub-chunks, queued
+    // back-to-back on the drive (the read-ahead window makes the
+    // follow-ons positioning-free), each draining through the bus
+    // chain as soon as it is buffered.
+    _string.chargeCommandOverhead();
+    auto remaining = std::make_shared<std::uint64_t>(bytes);
+    std::uint64_t pos = offset;
+    std::uint64_t left = bytes;
+    while (left > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(left, cal::xbusChunkBytes);
+        _drive.submitBytes(pos, chunk, false, [this, stages, chunk,
+                                               remaining, done_ptr] {
+            sim::Pipeline::start(eq, *stages, chunk,
+                                 cal::xbusChunkBytes,
+                                 [remaining, chunk, done_ptr] {
+                                     *remaining -= chunk;
+                                     if (*remaining == 0 && *done_ptr)
+                                         (*done_ptr)();
+                                 });
+        });
+        pos += chunk;
+        left -= chunk;
+    }
+}
+
+void
+DiskChannel::write(std::uint64_t offset, std::uint64_t bytes,
+                   std::vector<sim::Stage> upstream,
+                   std::function<void()> done)
+{
+    auto stages = std::make_shared<std::vector<sim::Stage>>();
+    for (auto &st : upstream)
+        stages->push_back(st);
+    stages->push_back(sim::Stage(_cougar.svc()));
+    stages->push_back(sim::Stage(_string.bus()));
+
+    // Two phases complete independently: the bus phase filling the
+    // drive buffer and the media phase committing it.  The drive can
+    // position while data streams in, but the command is only done
+    // when both have finished.
+    auto pending = std::make_shared<int>(2);
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto finish = [pending, done_ptr] {
+        if (--*pending == 0 && *done_ptr)
+            (*done_ptr)();
+    };
+
+    _string.chargeCommandOverhead();
+    sim::Pipeline::start(eq, *stages, bytes, cal::xbusChunkBytes, finish);
+    _drive.submitBytes(offset, bytes, true, finish);
+}
+
+} // namespace raid2::scsi

@@ -1,0 +1,32 @@
+#include "scsi/scsi_string.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::scsi {
+
+ScsiString::ScsiString(sim::EventQueue &eq, std::string name,
+                       double mb_per_sec)
+    : _name(std::move(name)),
+      _bus(eq, _name + ".bus",
+           sim::Service::Config{mb_per_sec, 0, 1})
+{
+}
+
+void
+ScsiString::attach(disk::DiskModel *drive)
+{
+    if (!drive)
+        sim::panic("ScsiString %s: attaching null drive", _name.c_str());
+    if (_disks.size() >= 7)
+        sim::fatal("ScsiString %s: SCSI allows at most 7 targets",
+                   _name.c_str());
+    _disks.push_back(drive);
+}
+
+void
+ScsiString::chargeCommandOverhead()
+{
+    _bus.submitBusyTime(cal::scsiCommandOverhead, nullptr);
+}
+
+} // namespace raid2::scsi

@@ -1,0 +1,140 @@
+#include "server/file_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::server {
+
+RaidFileClient::RaidFileClient(sim::EventQueue &eq_, Raid2Server &server_,
+                               net::ClientModel &client_,
+                               net::UltranetFabric &net_,
+                               const Config &cfg_)
+    : eq(eq_), server(server_), client(client_), net(net_), cfg(cfg_)
+{
+}
+
+RaidFileClient::RaidFileClient(sim::EventQueue &eq_, Raid2Server &server_,
+                               net::ClientModel &client_,
+                               net::UltranetFabric &net_)
+    : RaidFileClient(eq_, server_, client_, net_, Config{})
+{
+}
+
+void
+RaidFileClient::raidOpen(const std::string &path, bool create,
+                         std::function<void(Handle)> done)
+{
+    client.chargeRequestCost();
+    eq.scheduleIn(cfg.commandRtt, [this, path, create,
+                                   done = std::move(done)] {
+        lfs::InodeNum ino;
+        if (create && !server.fs().exists(path))
+            ino = server.fs().create(path);
+        else
+            ino = server.fs().lookup(path);
+        const Handle h = nextHandle++;
+        open[h] = OpenFile{ino, 0};
+        if (done)
+            done(h);
+    });
+}
+
+void
+RaidFileClient::raidRead(Handle h, std::uint64_t len,
+                         std::function<void(std::uint64_t)> done)
+{
+    auto it = open.find(h);
+    if (it == open.end())
+        sim::fatal("raidRead on closed handle %u", h);
+    OpenFile &f = it->second;
+    const std::uint64_t off = f.pos;
+    const std::uint64_t size = server.fs().statIno(f.ino).size;
+    const std::uint64_t n =
+        off >= size ? 0 : std::min<std::uint64_t>(len, size - off);
+    f.pos += n;
+
+    client.chargeRequestCost();
+    if (n == 0) {
+        eq.scheduleIn(cfg.commandRtt, [done = std::move(done)] {
+            if (done)
+                done(0);
+        });
+        return;
+    }
+    // Command exchange, then server reads through the high-bandwidth
+    // path: array -> XBUS memory -> HIPPI source -> Ultranet ->
+    // client NIC.
+    eq.scheduleIn(cfg.commandRtt, [this, ino = f.ino, off, n,
+                                   done = std::move(done)] {
+        std::vector<sim::Stage> out = {
+            sim::Stage(server.board().hippiSrcPort()),
+            sim::Stage(net.ring()), client.rxStage()};
+        if (cfg.pollingDriver) {
+            // The host busy-waits while the source board transmits.
+            server.host().cpu().submitBusyTime(
+                sim::transferTicks(n, cal::clientReadMBs), nullptr);
+        }
+        server.fileRead(ino, off, n,
+                        [n, done = std::move(done)] {
+                            if (done)
+                                done(n);
+                        },
+                        out, cal::hippiSetupOverhead);
+    });
+}
+
+void
+RaidFileClient::raidWrite(Handle h, std::uint64_t len,
+                          std::function<void(std::uint64_t)> done)
+{
+    auto it = open.find(h);
+    if (it == open.end())
+        sim::fatal("raidWrite on closed handle %u", h);
+    OpenFile &f = it->second;
+    const std::uint64_t off = f.pos;
+    f.pos += len;
+
+    client.chargeRequestCost();
+    eq.scheduleIn(cfg.commandRtt, [this, ino = f.ino, off, len,
+                                   done = std::move(done)] {
+        // Client NIC -> Ultranet -> HIPPI destination -> XBUS memory,
+        // then the LFS write path buffers and flushes segments.
+        std::vector<sim::Stage> in = {
+            client.txStage(), sim::Stage(net.ring()),
+            sim::Stage(server.board().hippiDstPort())};
+        sim::Pipeline::start(
+            eq, in, len, cal::xbusChunkBytes,
+            [this, ino, off, len, done = std::move(done)]() mutable {
+                server.fileWrite(ino, off, len,
+                                 [len, done = std::move(done)] {
+                                     if (done)
+                                         done(len);
+                                 });
+            });
+    });
+}
+
+void
+RaidFileClient::raidSeek(Handle h, std::uint64_t pos)
+{
+    auto it = open.find(h);
+    if (it == open.end())
+        sim::fatal("raidSeek on closed handle %u", h);
+    it->second.pos = pos;
+}
+
+void
+RaidFileClient::raidClose(Handle h)
+{
+    open.erase(h);
+}
+
+std::uint64_t
+RaidFileClient::position(Handle h) const
+{
+    auto it = open.find(h);
+    if (it == open.end())
+        sim::fatal("position of closed handle %u", h);
+    return it->second.pos;
+}
+
+} // namespace raid2::server

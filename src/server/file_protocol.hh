@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The RAID file access library (client side of the fast path).
+ *
+ * §3.3: clients link "a small library that converts RAID file
+ * operations into operations on an Ultranet socket connection":
+ * raid_open opens a socket and names the file; raid_read/raid_write
+ * stream data over the Ultranet between the XBUS board's HIPPI port
+ * and the client NIC.  This class models that library: per-call
+ * socket/RPC costs, positional handles, and the timed transfer path
+ * through server HIPPI -> Ultranet ring -> client NIC.
+ */
+
+#ifndef RAID2_SERVER_FILE_PROTOCOL_HH
+#define RAID2_SERVER_FILE_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/client_model.hh"
+#include "net/ultranet.hh"
+#include "server/raid2_server.hh"
+
+namespace raid2::server {
+
+/** Client-side RAID file library over the Ultranet fast path. */
+class RaidFileClient
+{
+  public:
+    using Handle = std::uint32_t;
+    static constexpr Handle invalidHandle = 0;
+
+    struct Config
+    {
+        /** Round-trip command latency for open/close and per-request
+         *  command exchange (socket + Sprite-RPC on the host). */
+        sim::Tick commandRtt = sim::msToTicks(1.0);
+        /** Host CPU polls during sends with the initial network driver
+         *  (§3.4) instead of taking interrupts. */
+        bool pollingDriver = false;
+    };
+
+    RaidFileClient(sim::EventQueue &eq, Raid2Server &server,
+                   net::ClientModel &client, net::UltranetFabric &net,
+                   const Config &cfg);
+    RaidFileClient(sim::EventQueue &eq, Raid2Server &server,
+                   net::ClientModel &client, net::UltranetFabric &net);
+
+    /** Open (or create) a file; completes with a positional handle. */
+    void raidOpen(const std::string &path, bool create,
+                  std::function<void(Handle)> done);
+
+    /** Read @p len bytes at the handle's position; advances it. */
+    void raidRead(Handle h, std::uint64_t len,
+                  std::function<void(std::uint64_t)> done);
+
+    /** Write @p len bytes at the handle's position; advances it. */
+    void raidWrite(Handle h, std::uint64_t len,
+                   std::function<void(std::uint64_t)> done);
+
+    void raidSeek(Handle h, std::uint64_t pos);
+    void raidClose(Handle h);
+
+    std::uint64_t position(Handle h) const;
+
+  private:
+    struct OpenFile
+    {
+        lfs::InodeNum ino;
+        std::uint64_t pos = 0;
+    };
+
+    sim::EventQueue &eq;
+    Raid2Server &server;
+    net::ClientModel &client;
+    net::UltranetFabric &net;
+    Config cfg;
+
+    std::map<Handle, OpenFile> open;
+    Handle nextHandle = 1;
+};
+
+} // namespace raid2::server
+
+#endif // RAID2_SERVER_FILE_PROTOCOL_HH

@@ -1,0 +1,365 @@
+#include "server/raid2_server.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace raid2::server {
+
+Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
+                         const Config &cfg_)
+    : eq(eq_), _name(std::move(name)), cfg(cfg_),
+      _hostCache(cfg_.hostCacheBytes)
+{
+    _board = std::make_unique<xbus::XbusBoard>(eq, _name + ".xbus");
+    _array = std::make_unique<raid::SimArray>(eq, *_board,
+                                              _name + ".array",
+                                              cfg.layout, cfg.topo);
+    _host = std::make_unique<host::HostWorkstation>(eq, _name + ".host");
+    _ethernet = std::make_unique<net::EthernetLink>(eq, _name + ".ether");
+    _loop = std::make_unique<net::HippiLoopback>(eq, *_board);
+    fsCpu = std::make_unique<sim::Service>(
+        eq, _name + ".fscpu", sim::Service::Config{0.0, 0, 1});
+
+    if (cfg.withFs) {
+        if (cfg.fsDeviceBytes > _array->capacity())
+            sim::fatal("Raid2Server %s: functional device larger than "
+                       "the array", _name.c_str());
+        if (cfg.fsParams.alignSegmentsTo == 0) {
+            // Align LFS segments to the stripe width so segment
+            // flushes are full-stripe writes (§3.1's efficient case).
+            cfg.fsParams.alignSegmentsTo =
+                _array->layout().stripeDataBytes();
+        }
+        fsDev = std::make_unique<fs::MemBlockDevice>(
+            cfg.fsParams.blockSize,
+            cfg.fsDeviceBytes / cfg.fsParams.blockSize);
+        hookDev = std::make_unique<fs::HookBlockDevice>(*fsDev);
+        hookDev->setWriteHook(
+            [this](std::uint64_t off, std::uint64_t len, bool) {
+                noteDeviceWrite(off, len);
+            });
+        lfs::Lfs::format(*hookDev, cfg.fsParams);
+        _fs = std::make_unique<lfs::Lfs>(*hookDev);
+        _fs->setAutoClean(true);
+        // Format/mount traffic is setup, not workload.
+        pendingWrites.clear();
+    }
+}
+
+Raid2Server::~Raid2Server() = default;
+
+lfs::Lfs &
+Raid2Server::fs()
+{
+    if (!_fs)
+        sim::fatal("Raid2Server %s: configured without a file system",
+                   _name.c_str());
+    return *_fs;
+}
+
+// ---------------------------------------------------------------------
+// Hardware-level ops
+// ---------------------------------------------------------------------
+
+void
+Raid2Server::hwRead(std::uint64_t off, std::uint64_t len,
+                    std::function<void()> done)
+{
+    PipelinedReader::Config pcfg;
+    pcfg.depth = cfg.pipelineDepth;
+    pcfg.bufferBytes = cfg.pipelineBufferBytes;
+    pcfg.outStages = {sim::Stage(_board->memory()),
+                      sim::Stage(_board->hippiSrcPort()),
+                      sim::Stage(_board->hippiDstPort()),
+                      sim::Stage(_board->memory())};
+    pcfg.outSetup = cal::hippiSetupOverhead;
+    pcfg.buffers = &_board->buffers();
+    PipelinedReader::start(eq, *_array, {Range{off, len}}, pcfg,
+                           std::move(done));
+}
+
+void
+Raid2Server::hwWrite(std::uint64_t off, std::uint64_t len,
+                     std::function<void()> done)
+{
+    // Data arrives over the HIPPI loop into XBUS memory while the
+    // array write (parity passes + disk commands) proceeds; the
+    // operation completes when both finish.  The HIPPI path outruns
+    // the array, so the overlap approximation is safe.
+    auto pending = std::make_shared<int>(2);
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto finish = [pending, done_ptr] {
+        if (--*pending == 0 && *done_ptr)
+            (*done_ptr)();
+    };
+    _loop->transfer(len, finish);
+    _array->write(off, len, finish);
+}
+
+// ---------------------------------------------------------------------
+// LFS write path
+// ---------------------------------------------------------------------
+
+void
+Raid2Server::noteDeviceWrite(std::uint64_t off, std::uint64_t len)
+{
+    if (!pendingWrites.empty()) {
+        auto &last = pendingWrites.back();
+        if (last.first + last.second == off) {
+            last.second += len;
+            return;
+        }
+    }
+    pendingWrites.emplace_back(off, len);
+}
+
+void
+Raid2Server::drainPendingWrites(std::function<void()> all_done)
+{
+    if (pendingWrites.empty()) {
+        if (all_done)
+            eq.scheduleIn(0, std::move(all_done));
+        return;
+    }
+    auto batch = std::move(pendingWrites);
+    pendingWrites.clear();
+
+    auto remaining = std::make_shared<std::size_t>(batch.size());
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(all_done));
+    for (const auto &[off, len] : batch) {
+        ++flushesInFlight;
+        ++_segmentFlushes;
+        _flushedBytes += len;
+        _array->write(off, len, [this, remaining, done_ptr] {
+            flushCompleted();
+            if (--*remaining == 0 && *done_ptr)
+                (*done_ptr)();
+        });
+    }
+}
+
+void
+Raid2Server::flushCompleted()
+{
+    --flushesInFlight;
+    while (!flushWaiters.empty() &&
+           flushesInFlight < cfg.maxFlushesInFlight) {
+        auto waiter = std::move(flushWaiters.front());
+        flushWaiters.pop_front();
+        waiter();
+    }
+}
+
+lfs::InodeNum
+Raid2Server::createFile(const std::string &path)
+{
+    const lfs::InodeNum ino = fs().create(path);
+    return ino;
+}
+
+void
+Raid2Server::fileWrite(lfs::InodeNum ino, std::uint64_t off,
+                       std::uint64_t len, std::function<void()> done)
+{
+    // Synthesize a deterministic payload for benches that don't care
+    // about the bytes.
+    std::vector<std::uint8_t> data(len);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>((off + i) * 131 + ino);
+    fileWriteData(ino, off, {data.data(), data.size()},
+                  std::move(done));
+}
+
+void
+Raid2Server::fileWriteData(lfs::InodeNum ino, std::uint64_t off,
+                           std::span<const std::uint8_t> data,
+                           std::function<void()> done)
+{
+    auto copy = std::make_shared<std::vector<std::uint8_t>>(
+        data.begin(), data.end());
+    // Per-request file system + network software cost (~3 ms, §3.4),
+    // serialized on the server software path.
+    fsCpu->submitBusyTime(cfg.fsWriteOverhead, [this, ino, off, copy,
+                                                done =
+                                                    std::move(done)]()
+                                                   mutable {
+        // Functional write: real bytes into the log; the host's
+        // cached copy (if any) is now stale (§3.2: "The file system
+        // keeps the two caches consistent").
+        _hostCache.invalidate(ino);
+        fs().write(ino, off, {copy->data(), copy->size()});
+
+        // Copy into the XBUS segment buffer.
+        _board->memory().submit(copy->size(), [this,
+                                               done = std::move(done)]()
+                                                  mutable {
+            drainPendingWrites(nullptr);
+            if (flushesInFlight >= cfg.maxFlushesInFlight) {
+                flushWaiters.push_back(std::move(done));
+            } else if (done) {
+                done();
+            }
+        });
+    });
+}
+
+void
+Raid2Server::fileRead(lfs::InodeNum ino, std::uint64_t off,
+                      std::uint64_t len, std::function<void()> done,
+                      std::vector<sim::Stage> extra_out,
+                      sim::Tick out_setup)
+{
+    fsCpu->submitBusyTime(cfg.fsReadOverhead, [this, ino, off, len,
+                                               extra_out =
+                                                   std::move(extra_out),
+                                               out_setup,
+                                               done = std::move(done)]()
+                                                  mutable {
+        std::vector<Range> ranges;
+        for (const lfs::FileExtent &e : fs().mapFile(ino, off, len)) {
+            if (e.hole)
+                continue;
+            ranges.push_back(Range{e.deviceOffset, e.bytes});
+        }
+        PipelinedReader::Config pcfg;
+        pcfg.depth = cfg.pipelineDepth;
+        pcfg.bufferBytes = cfg.pipelineBufferBytes;
+        pcfg.outStages = {sim::Stage(_board->memory())};
+        for (auto &st : extra_out)
+            pcfg.outStages.push_back(st);
+        pcfg.outSetup = out_setup;
+        pcfg.buffers = &_board->buffers();
+        PipelinedReader::start(eq, *_array, std::move(ranges), pcfg,
+                               std::move(done));
+    });
+}
+
+void
+Raid2Server::fsSync(std::function<void()> done)
+{
+    fsCpu->submitBusyTime(0, [this, done = std::move(done)]() mutable {
+        fs().sync();
+        drainPendingWrites(std::move(done));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Standard mode (Ethernet through the host)
+// ---------------------------------------------------------------------
+
+void
+Raid2Server::standardRead(lfs::InodeNum ino, std::uint64_t off,
+                          std::uint64_t len, std::function<void()> done)
+{
+    // Name lookup / request handling on the host.
+    _host->chargeIoCompletion(true, nullptr);
+
+    // Host file cache (§3.2): a resident file is served from host
+    // memory — no XBUS or disk traffic at all.
+    if (_hostCache.lookup(ino)) {
+        fsCpu->submitBusyTime(
+            cfg.fsReadOverhead,
+            [this, len, done = std::move(done)]() mutable {
+                _host->copyThroughMemory(
+                    len, [this, len, done = std::move(done)]() mutable {
+                        _ethernet->send(len, std::move(done));
+                    });
+            });
+        return;
+    }
+    // The read below brings the whole file into the host cache if it
+    // fits.
+    const std::uint64_t file_size = fs().statIno(ino).size;
+    if (file_size > 0 && file_size <= _hostCache.capacity())
+        _hostCache.insert(ino, file_size);
+
+    fsCpu->submitBusyTime(cfg.fsReadOverhead, [this, ino, off, len,
+                                               done = std::move(done)]()
+                                                  mutable {
+        std::vector<Range> ranges;
+        for (const lfs::FileExtent &e : fs().mapFile(ino, off, len)) {
+            if (e.hole)
+                continue;
+            ranges.push_back(Range{e.deviceOffset, e.bytes});
+        }
+        auto remaining = std::make_shared<std::size_t>(ranges.size());
+        auto done_ptr = std::make_shared<std::function<void()>>(
+            std::move(done));
+        auto total = len;
+        auto after_reads = [this, done_ptr, total] {
+            // XBUS -> slow VME link -> host backplane -> host memory
+            // copies -> Ethernet to the client.
+            std::vector<sim::Stage> stages = {
+                sim::Stage(_board->memory()),
+                sim::Stage(_board->hostLink(), cal::controlLinkReadMBs)};
+            for (auto &st : _host->dataPathStages())
+                stages.push_back(st);
+            sim::Pipeline::start(
+                eq, stages, total, cal::xbusChunkBytes,
+                [this, done_ptr, total] {
+                    _ethernet->send(total, [done_ptr] {
+                        if (*done_ptr)
+                            (*done_ptr)();
+                    });
+                });
+        };
+        if (ranges.empty()) {
+            after_reads();
+            return;
+        }
+        for (const Range &r : ranges) {
+            _array->read(r.off, r.len,
+                         [remaining, after_reads] {
+                             if (--*remaining == 0)
+                                 after_reads();
+                         });
+        }
+    });
+}
+
+void
+Raid2Server::standardWrite(lfs::InodeNum ino, std::uint64_t off,
+                           std::uint64_t len, std::function<void()> done)
+{
+    _host->chargeIoCompletion(true, nullptr);
+
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+
+    // Client data arrives over the Ethernet, crosses host memory, and
+    // descends the slow control link into XBUS memory.
+    _ethernet->send(len, [this, ino, off, len, done_ptr] {
+        std::vector<sim::Stage> stages = {_host->dataPathStages()[0],
+                                          _host->dataPathStages()[1]};
+        stages.push_back(
+            sim::Stage(_board->hostLink(), cal::controlLinkWriteMBs));
+        stages.push_back(sim::Stage(_board->memory()));
+        sim::Pipeline::start(eq, stages, len, cal::xbusChunkBytes,
+                             [this, ino, off, len, done_ptr] {
+            const bool nvram = cfg.nvramBytes > 0;
+            if (nvram) {
+                // The NVRAM copy makes the write stable immediately;
+                // the log flush continues behind the reply.
+                fileWrite(ino, off, len, nullptr);
+                _host->memoryCopy().submit(len, [done_ptr] {
+                    if (*done_ptr)
+                        (*done_ptr)();
+                });
+                return;
+            }
+            // NFSv2 stable write: reply only after the data is on the
+            // disks.
+            fileWrite(ino, off, len, [this, done_ptr] {
+                fsSync([done_ptr] {
+                    if (*done_ptr)
+                        (*done_ptr)();
+                });
+            });
+        });
+    });
+}
+
+} // namespace raid2::server

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The RAID-II storage server.
+ *
+ * Glues the whole prototype together the way Fig 2 draws it: an XBUS
+ * board with its disk array (SimArray, timed), the HIPPI pair, the
+ * host workstation, and LFS.  The file system runs functionally on a
+ * device whose logical space coincides with the timed array's logical
+ * space; the server mirrors LFS's device traffic into the timed plane
+ * (segment flushes become full-stripe array writes, mapFile() extents
+ * become pipelined array reads), which is exactly the division of
+ * labor between the Sun 4/280 host software and the XBUS hardware in
+ * the real system.
+ */
+
+#ifndef RAID2_SERVER_RAID2_SERVER_HH
+#define RAID2_SERVER_RAID2_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fs/block_device.hh"
+#include "fs/mem_block_device.hh"
+#include "host/host_workstation.hh"
+#include "host/lru_cache.hh"
+#include "lfs/lfs.hh"
+#include "net/ethernet.hh"
+#include "net/hippi.hh"
+#include "raid/sim_array.hh"
+#include "server/datapath.hh"
+#include "xbus/xbus_board.hh"
+
+namespace raid2::server {
+
+/** One-XBUS-board RAID-II server. */
+class Raid2Server
+{
+  public:
+    struct Config
+    {
+        raid::LayoutConfig layout;
+        raid::ArrayTopology topo;
+
+        /** Mount LFS on the array (off for raw-hardware benches). */
+        bool withFs = true;
+        lfs::Lfs::Params fsParams;
+        /** Functional device capacity; the timed array's logical space
+         *  is usually far larger than a bench's working set, so the
+         *  functional twin only needs to cover the set actually
+         *  touched. */
+        std::uint64_t fsDeviceBytes = 256ull * 1024 * 1024;
+
+        unsigned pipelineDepth = cal::defaultPipelineDepth;
+        std::uint64_t pipelineBufferBytes = 256 * 1024;
+        sim::Tick fsReadOverhead = cal::lfsReadOpOverhead;
+        sim::Tick fsWriteOverhead = cal::lfsWriteOpOverhead;
+        /** Write-behind bound on outstanding segment flushes. */
+        unsigned maxFlushesInFlight = 2;
+        /** Host file-cache budget for standard-mode reads (§3.2: "The
+         *  host memory cache contains metadata as well as files that
+         *  have been read into workstation memory for transfer over
+         *  the Ethernet"). */
+        std::uint64_t hostCacheBytes = 64ull * 1024 * 1024;
+        /** NVRAM write buffer on the host for standard-mode (NFS-
+         *  style) writes; §4.1: NFS servers add "possibly non-volatile
+         *  memory to speed up NFS writes".  0 = none: standard-mode
+         *  writes are stable (ack only after the log reaches disk). */
+        std::uint64_t nvramBytes = 0;
+
+        Config()
+        {
+            layout.level = raid::RaidLevel::Raid5;
+            layout.stripeUnitBytes = cal::lfsStripeUnitBytes;
+        }
+    };
+
+    Raid2Server(sim::EventQueue &eq, std::string name, const Config &cfg);
+    ~Raid2Server();
+
+    /** @{ Subsystems. */
+    xbus::XbusBoard &board() { return *_board; }
+    raid::SimArray &array() { return *_array; }
+    host::HostWorkstation &host() { return *_host; }
+    net::EthernetLink &ethernet() { return *_ethernet; }
+    lfs::Lfs &fs();
+    sim::EventQueue &eventQueue() { return eq; }
+    const Config &config() const { return cfg; }
+    /** @} */
+
+    // -----------------------------------------------------------------
+    // Hardware-level operations (no file system) — §2.3, Fig 5/Table 1.
+    // -----------------------------------------------------------------
+
+    /** Disk array -> XBUS memory -> HIPPI loop -> XBUS memory. */
+    void hwRead(std::uint64_t off, std::uint64_t len,
+                std::function<void()> done);
+
+    /** HIPPI loop -> XBUS memory -> parity -> disk array. */
+    void hwWrite(std::uint64_t off, std::uint64_t len,
+                 std::function<void()> done);
+
+    // -----------------------------------------------------------------
+    // LFS operations — §3.4, Fig 8 (data to/from XBUS network buffers).
+    // -----------------------------------------------------------------
+
+    lfs::InodeNum createFile(const std::string &path);
+
+    /**
+     * Timed + functional file write.  Completion models LFS
+     * write-behind: the request finishes once buffered (overhead +
+     * memory copy) unless segment flushes back up.
+     */
+    void fileWrite(lfs::InodeNum ino, std::uint64_t off,
+                   std::uint64_t len, std::function<void()> done);
+
+    /** Like fileWrite() but stores caller-supplied bytes (the data is
+     *  copied before the call returns). */
+    void fileWriteData(lfs::InodeNum ino, std::uint64_t off,
+                       std::span<const std::uint8_t> data,
+                       std::function<void()> done);
+
+    /**
+     * Timed + functional file read through the pipelined high-
+     * bandwidth path into XBUS network buffers.  @p extra_out appends
+     * stages after the network-buffer copy (e.g. HIPPI + client NIC).
+     */
+    void fileRead(lfs::InodeNum ino, std::uint64_t off,
+                  std::uint64_t len, std::function<void()> done,
+                  std::vector<sim::Stage> extra_out = {},
+                  sim::Tick out_setup = 0);
+
+    /** Timed sync: flush LFS state and wait for the array writes. */
+    void fsSync(std::function<void()> done);
+
+    // -----------------------------------------------------------------
+    // Standard mode — Ethernet through the host (§2.1.1, §3.3).
+    // -----------------------------------------------------------------
+
+    /** XBUS -> host link -> host memory -> Ethernet -> client.  Whole
+     *  files read this way populate the host's LRU cache; later
+     *  standard-mode reads of a cached file skip the array entirely
+     *  (§3.2). */
+    void standardRead(lfs::InodeNum ino, std::uint64_t off,
+                      std::uint64_t len, std::function<void()> done);
+
+    /**
+     * Standard-mode (NFS-style) write: Ethernet -> host memory ->
+     * control link -> LFS.  Without NVRAM the reply waits for the data
+     * to be stable on disk (NFSv2 semantics: sync + flush); with
+     * Config::nvramBytes set, the reply returns once the data is in
+     * the host's NVRAM and the log flush proceeds behind it.
+     */
+    void standardWrite(lfs::InodeNum ino, std::uint64_t off,
+                       std::uint64_t len, std::function<void()> done);
+
+    /** The host's standard-mode file cache. */
+    host::LruCache &hostCache() { return _hostCache; }
+
+    /** @{ Statistics. */
+    std::uint64_t segmentFlushes() const { return _segmentFlushes; }
+    std::uint64_t flushedBytes() const { return _flushedBytes; }
+    /** @} */
+
+  private:
+    /** Collect LFS device writes and issue them to the timed array. */
+    void drainPendingWrites(std::function<void()> per_batch_done);
+    void noteDeviceWrite(std::uint64_t off, std::uint64_t len);
+    void flushCompleted();
+
+    sim::EventQueue &eq;
+    std::string _name;
+    Config cfg;
+
+    std::unique_ptr<xbus::XbusBoard> _board;
+    std::unique_ptr<raid::SimArray> _array;
+    std::unique_ptr<host::HostWorkstation> _host;
+    std::unique_ptr<net::EthernetLink> _ethernet;
+    std::unique_ptr<net::HippiLoopback> _loop;
+
+    /** Serializes the per-request file system CPU overheads. */
+    std::unique_ptr<sim::Service> fsCpu;
+
+    std::unique_ptr<fs::MemBlockDevice> fsDev;
+    std::unique_ptr<fs::HookBlockDevice> hookDev;
+    std::unique_ptr<lfs::Lfs> _fs;
+
+    /** Device writes recorded by the hook since the last drain. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pendingWrites;
+    unsigned flushesInFlight = 0;
+    std::deque<std::function<void()>> flushWaiters;
+
+    host::LruCache _hostCache;
+
+    std::uint64_t _segmentFlushes = 0;
+    std::uint64_t _flushedBytes = 0;
+};
+
+} // namespace raid2::server
+
+#endif // RAID2_SERVER_RAID2_SERVER_HH

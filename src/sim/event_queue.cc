@@ -1,0 +1,73 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace raid2::sim {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < _now)
+        panic("scheduling event in the past: when=%llu now=%llu",
+              (unsigned long long)when, (unsigned long long)_now);
+    EventId id = nextId++;
+    events.emplace(Key{when, id}, std::move(fn));
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    for (auto it = events.begin(); it != events.end(); ++it) {
+        if (it->first.second == id) {
+            events.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+EventQueue::step()
+{
+    auto it = events.begin();
+    _now = it->first.first;
+    auto fn = std::move(it->second);
+    events.erase(it);
+    ++numExecuted;
+    fn();
+}
+
+Tick
+EventQueue::run()
+{
+    while (!events.empty())
+        step();
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.begin()->first.first <= limit)
+        step();
+    if (_now < limit && events.empty())
+        return _now;
+    _now = limit;
+    return _now;
+}
+
+bool
+EventQueue::runUntilDone(const std::function<bool()> &done)
+{
+    if (done())
+        return true;
+    while (!events.empty()) {
+        step();
+        if (done())
+            return true;
+    }
+    return false;
+}
+
+} // namespace raid2::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue drives all timed components.  Events
+ * are closures scheduled at absolute ticks; ties are broken by
+ * insertion order so a run is fully deterministic.  Components hold a
+ * reference to the queue and schedule continuations on it; there is no
+ * global singleton, so tests can run many independent simulations.
+ */
+
+#ifndef RAID2_SIM_EVENT_QUEUE_HH
+#define RAID2_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace raid2::sim {
+
+/**
+ * Deterministic single-threaded event queue.
+ *
+ * schedule() returns an EventId that may be passed to cancel() as long
+ * as the event has not yet fired.  The queue owns the closures.
+ */
+class EventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+    static constexpr EventId invalidEvent = 0;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        return schedule(_now + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was found and removed.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Run events until the queue is empty.
+     * @return the final simulated time.
+     */
+    Tick run();
+
+    /**
+     * Run events with timestamps <= @p limit; afterwards now() ==
+     * min(limit, time queue drained).  Events scheduled during the run
+     * are honored if they fall within the limit.
+     */
+    Tick runUntil(Tick limit);
+
+    /**
+     * Run until @p done returns true (checked after each event) or the
+     * queue drains.  @return true if the predicate was satisfied.
+     */
+    bool runUntilDone(const std::function<bool()> &done);
+
+  private:
+    /** Key orders by (tick, sequence) for deterministic ties. */
+    using Key = std::pair<Tick, EventId>;
+
+    std::map<Key, std::function<void()>> events;
+    Tick _now = 0;
+    EventId nextId = 1;
+    std::uint64_t numExecuted = 0;
+
+    /** Pop and execute the earliest event. */
+    void step();
+};
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_EVENT_QUEUE_HH

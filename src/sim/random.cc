@@ -1,0 +1,88 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace raid2::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Random::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Random::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::uint64_t
+Random::inRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Random::inRange: lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Random::unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Random::exponential(double mean)
+{
+    double u;
+    do {
+        u = unit();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+} // namespace raid2::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * A small xoshiro256** implementation seeded through SplitMix64, so
+ * every experiment is reproducible from its seed and independent of
+ * the C++ standard library's unspecified distributions.
+ */
+
+#ifndef RAID2_SIM_RANDOM_HH
+#define RAID2_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace raid2::sim {
+
+/** Deterministic RNG (xoshiro256**). */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x52414944ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t inRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** True with probability @p p. */
+    bool chance(double p) { return unit() < p; }
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_RANDOM_HH

@@ -1,0 +1,116 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace raid2::sim {
+
+void
+Distribution::sample(double v)
+{
+    ++n;
+    sum += v;
+    sumSq += v * v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    sum = sumSq = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+double
+Distribution::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = sumSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t buckets_)
+    : lo(lo_), hi(hi_), width((hi_ - lo_) / static_cast<double>(buckets_)),
+      counts(buckets_, 0)
+{
+    if (buckets_ == 0 || hi_ <= lo_)
+        panic("Histogram: bad range/bucket configuration");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++n;
+    std::size_t idx;
+    if (v < lo) {
+        idx = 0;
+    } else if (v >= hi) {
+        idx = counts.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((v - lo) / width);
+        idx = std::min(idx, counts.size() - 1);
+    }
+    ++counts[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    n = 0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return bucketLo(i) + width;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen > target)
+            return bucketLo(i) + width / 2.0;
+    }
+    return bucketHi(counts.size() - 1);
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &label) const
+{
+    os << label << " (n=" << n << ")\n";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        os << "  [" << bucketLo(i) << ", " << bucketHi(i)
+           << "): " << counts[i] << "\n";
+    }
+}
+
+} // namespace raid2::sim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components expose counters and sample distributions; benches and
+ * tests read them back.  Modeled loosely on gem5's stats package but
+ * intentionally tiny: a Scalar counter, a sampled Distribution, and a
+ * fixed-bucket Histogram, plus a registry for named dumping.
+ */
+
+#ifndef RAID2_SIM_STATS_HH
+#define RAID2_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace raid2::sim {
+
+/** Monotonic counter. */
+class Scalar
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Online mean / min / max / variance over double samples. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? _min : 0.0; }
+    double max() const { return n ? _max : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double total() const { return sum; }
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width bucket histogram over [lo, hi); out-of-range samples
+ *  land in saturating edge buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+
+    /** Approximate p-quantile (q in [0,1]) from bucket midpoints. */
+    double quantile(double q) const;
+
+    void print(std::ostream &os, const std::string &label) const;
+
+  private:
+    double lo, hi, width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Utilization tracker for a resource: accumulates busy time so a bench
+ * can report fraction-busy over an interval.
+ */
+class Utilization
+{
+  public:
+    /** Record the resource busy for [start, end). Overlaps allowed for
+     *  multi-server resources; busy time simply accumulates. */
+    void
+    addBusy(Tick start, Tick end)
+    {
+        if (end > start)
+            busyTicks += end - start;
+    }
+
+    Tick busy() const { return busyTicks; }
+
+    double
+    fraction(Tick elapsed) const
+    {
+        return elapsed ? static_cast<double>(busyTicks) /
+                             static_cast<double>(elapsed)
+                       : 0.0;
+    }
+
+    void reset() { busyTicks = 0; }
+
+  private:
+    Tick busyTicks = 0;
+};
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_STATS_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The simulated clock counts nanoseconds in a 64-bit unsigned integer,
+ * which is enough for ~584 years of simulated time.  All latency
+ * calibration constants in the project are expressed through the helper
+ * functions here so the unit is never ambiguous at a call site.
+ */
+
+#ifndef RAID2_SIM_TYPES_HH
+#define RAID2_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace raid2::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that compares later than any schedulable time. */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick nsPerUs = 1000;
+constexpr Tick nsPerMs = 1000 * 1000;
+constexpr Tick nsPerSec = 1000ull * 1000 * 1000;
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(nsPerUs));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(nsPerMs));
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(nsPerSec));
+}
+
+/** Convert ticks to seconds as a double (for reporting). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(nsPerSec);
+}
+
+/** Convert ticks to milliseconds as a double (for reporting). */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(nsPerMs);
+}
+
+/**
+ * Time to move @p bytes at @p mb_per_sec (1 MB = 10^6 bytes, matching
+ * the paper's "megabytes/second" usage).
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double mb_per_sec)
+{
+    return static_cast<Tick>(static_cast<double>(bytes) /
+                             (mb_per_sec * 1e6) *
+                             static_cast<double>(nsPerSec));
+}
+
+/** Bandwidth in MB/s given bytes moved over elapsed ticks. */
+constexpr double
+mbPerSec(std::uint64_t bytes, Tick elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / 1e6 / ticksToSec(elapsed);
+}
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
+
+/** The paper reports sizes in decimal kilobytes/megabytes. */
+constexpr std::uint64_t KB = 1000;
+constexpr std::uint64_t MB = 1000 * 1000;
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_TYPES_HH

@@ -1,0 +1,146 @@
+#include "workload/generators.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace raid2::workload {
+
+Results
+ClosedLoopRunner::run(sim::EventQueue &eq, const Config &cfg,
+                      const Op &op)
+{
+    if (cfg.regionBytes == 0)
+        sim::fatal("ClosedLoopRunner: regionBytes required");
+    if (cfg.requestBytes == 0 || cfg.requestBytes > cfg.regionBytes)
+        sim::fatal("ClosedLoopRunner: bad request size");
+
+    struct State
+    {
+        Config cfg;
+        const Op &op;
+        sim::EventQueue &eq;
+        sim::Random rng;
+        std::uint64_t issued = 0;
+        std::uint64_t finished = 0;
+        std::uint64_t measuredOps = 0;
+        std::uint64_t measuredBytes = 0;
+        sim::Tick measureStart = 0;
+        sim::Tick lastFinish = 0;
+        sim::Distribution latencyMs;
+        std::vector<std::uint64_t> cursor; // per-process, sequential
+
+        State(const Config &c, const Op &o, sim::EventQueue &q)
+            : cfg(c), op(o), eq(q), rng(c.seed)
+        {
+        }
+    };
+    State st(cfg, op, eq);
+
+    const std::uint64_t align =
+        cfg.alignBytes ? cfg.alignBytes : cfg.requestBytes;
+    const std::uint64_t slots =
+        (cfg.regionBytes - cfg.requestBytes) / align + 1;
+    const std::uint64_t total = cfg.totalOps + cfg.warmupOps;
+
+    // Per-process sequential partitions.
+    st.cursor.resize(cfg.processes);
+    for (unsigned p = 0; p < cfg.processes; ++p)
+        st.cursor[p] = (cfg.regionBytes / cfg.processes) * p;
+
+    // Issue loop, one outstanding request per process.
+    std::function<void(unsigned)> next = [&](unsigned p) {
+        if (st.issued >= total)
+            return;
+        ++st.issued;
+
+        std::uint64_t off;
+        if (st.cfg.sequential) {
+            const unsigned slot = st.cfg.sharedCursor ? 0 : p;
+            off = st.cursor[slot];
+            st.cursor[slot] += st.cfg.requestBytes;
+            if (st.cursor[slot] + st.cfg.requestBytes >
+                st.cfg.regionBytes) {
+                st.cursor[slot] = 0;
+            }
+        } else {
+            off = st.rng.below(slots) * align;
+        }
+
+        const sim::Tick start = st.eq.now();
+        st.op(off, st.cfg.requestBytes, [&st, p, start, &next] {
+            ++st.finished;
+            const bool measured = st.finished > st.cfg.warmupOps;
+            if (st.finished == st.cfg.warmupOps + 1)
+                st.measureStart = start;
+            if (measured) {
+                ++st.measuredOps;
+                st.measuredBytes += st.cfg.requestBytes;
+                st.latencyMs.sample(
+                    sim::ticksToMs(st.eq.now() - start));
+                st.lastFinish = st.eq.now();
+            }
+            next(p);
+        });
+    };
+
+    const sim::Tick t0 = eq.now();
+    for (unsigned p = 0; p < cfg.processes && st.issued < total; ++p)
+        next(p);
+    eq.runUntilDone([&st, total] { return st.finished >= total; });
+
+    if (st.finished < total)
+        sim::fatal("ClosedLoopRunner: queue drained with %llu/%llu ops",
+                   (unsigned long long)st.finished,
+                   (unsigned long long)total);
+
+    Results res;
+    res.ops = st.measuredOps;
+    res.bytes = st.measuredBytes;
+    const sim::Tick begin = cfg.warmupOps ? st.measureStart : t0;
+    res.elapsed = st.lastFinish > begin ? st.lastFinish - begin : 0;
+    res.latencyMs = st.latencyMs;
+    return res;
+}
+
+StreamRunner::StreamResults
+StreamRunner::run(sim::EventQueue &eq, const Config &cfg, const Op &op)
+{
+    struct Shared
+    {
+        StreamResults res;
+        std::uint64_t outstanding = 0;
+        std::uint64_t totalFrames = 0;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->totalFrames =
+        std::uint64_t(cfg.streams) * cfg.framesPerStream;
+
+    const sim::Tick t0 = eq.now();
+    for (unsigned s = 0; s < cfg.streams; ++s) {
+        for (std::uint64_t f = 0; f < cfg.framesPerStream; ++f) {
+            const sim::Tick when = t0 + f * cfg.framePeriod;
+            const std::uint64_t off =
+                std::uint64_t(s) * cfg.streamStrideBytes +
+                f * cfg.frameBytes;
+            eq.schedule(when, [&eq, &op, &cfg, sh, off, when] {
+                ++sh->outstanding;
+                op(off, cfg.frameBytes, [&eq, &cfg, sh, when] {
+                    --sh->outstanding;
+                    ++sh->res.frames;
+                    const sim::Tick lat = eq.now() - when;
+                    sh->res.frameLatencyMs.sample(sim::ticksToMs(lat));
+                    if (lat > cfg.framePeriod)
+                        ++sh->res.deadlineMisses;
+                });
+            });
+        }
+    }
+    eq.runUntilDone([sh] {
+        return sh->res.frames >= sh->totalFrames;
+    });
+    sh->res.elapsed = eq.now() - t0;
+    return sh->res;
+}
+
+} // namespace raid2::workload

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * I/O trace capture, synthesis and replay.
+ *
+ * §4.1 positions RAID-II against NFS-style workstation file service:
+ * "a large number of clients" issuing small, latency-sensitive
+ * operations.  A Trace is a time-stamped list of file operations in a
+ * simple text format; it can be parsed from a file, saved back, or
+ * synthesized (a Sprite-flavored office/engineering mix: mostly whole
+ * reads of small files, bursts of writes, a few large sequential
+ * monsters — the distribution shapes reported in the Sprite and BSD
+ * trace studies of the era).  TraceReplayer drives a Raid2Server with
+ * one, either open-loop at the recorded timestamps or closed-loop as
+ * fast as the server allows.
+ */
+
+#ifndef RAID2_WORKLOAD_TRACE_HH
+#define RAID2_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/raid2_server.hh"
+#include "sim/stats.hh"
+
+namespace raid2::workload {
+
+/** One traced file operation. */
+struct TraceRecord
+{
+    enum class Kind { Read, Write, Create, Unlink };
+
+    sim::Tick when = 0; // offset from trace start
+    Kind kind = Kind::Read;
+    std::string path;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** A time-ordered operation trace. */
+class Trace
+{
+  public:
+    /**
+     * Text format, one record per line:
+     *   <ms> R|W|C|U <path> [<offset> <bytes>]
+     * '#' starts a comment.  Throws std::runtime_error on bad input.
+     */
+    static Trace parse(std::istream &in);
+    void save(std::ostream &out) const;
+
+    void add(TraceRecord rec);
+    const std::vector<TraceRecord> &records() const { return recs; }
+    std::size_t size() const { return recs.size(); }
+    bool empty() const { return recs.empty(); }
+
+    /** Total bytes moved by reads/writes. */
+    std::uint64_t totalBytes() const;
+
+    /** Duration (timestamp of the last record). */
+    sim::Tick duration() const
+    {
+        return recs.empty() ? 0 : recs.back().when;
+    }
+
+    /**
+     * Synthesize an office/engineering client mix: @p clients emitting
+     * operations over @p duration.  ~80% of operations touch small
+     * files (whole-file reads dominate), writes arrive in bursts, and
+     * each client owns a handful of large files it reads sequentially.
+     * Deterministic in @p seed.
+     */
+    static Trace synthesizeOffice(unsigned clients, sim::Tick duration,
+                                  std::uint64_t seed);
+
+  private:
+    std::vector<TraceRecord> recs;
+};
+
+/** Drives a Raid2Server with a Trace. */
+class TraceReplayer
+{
+  public:
+    struct Config
+    {
+        /** true: issue at recorded timestamps (open loop); false:
+         *  back-to-back (closed loop, one outstanding). */
+        bool paced = true;
+        /** Serve reads over the Ethernet/standard path instead of the
+         *  high-bandwidth path. */
+        bool standardMode = false;
+    };
+
+    struct Results
+    {
+        std::uint64_t ops = 0;
+        std::uint64_t readBytes = 0;
+        std::uint64_t writeBytes = 0;
+        std::uint64_t creates = 0;
+        std::uint64_t unlinks = 0;
+        sim::Tick elapsed = 0;
+        sim::Distribution latencyMs;
+
+        double
+        opsPerSec() const
+        {
+            return elapsed ? static_cast<double>(ops) /
+                                 sim::ticksToSec(elapsed)
+                           : 0.0;
+        }
+    };
+
+    static Results replay(sim::EventQueue &eq,
+                          server::Raid2Server &server,
+                          const Trace &trace, const Config &cfg);
+};
+
+} // namespace raid2::workload
+
+#endif // RAID2_WORKLOAD_TRACE_HH

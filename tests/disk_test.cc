@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Disk model tests: geometry math, the fitted seek curve, rotational
+ * positioning, sequential read-ahead vs write behaviour, command
+ * queueing and the elevator scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.hh"
+#include "disk/disk_profile.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace raid2;
+using disk::DiskModel;
+using disk::DiskProfile;
+using sim::Tick;
+
+TEST(DiskProfile, Ibm0661Geometry)
+{
+    const DiskProfile &p = disk::ibm0661();
+    // "320 megabyte IBM SCSI disks" (§2.2).
+    EXPECT_GT(p.capacityBytes(), 300 * sim::MB);
+    EXPECT_LT(p.capacityBytes(), 350 * sim::MB);
+    // 4316 rpm -> ~13.9 ms rotation.
+    EXPECT_NEAR(sim::ticksToMs(p.rotationTicks()), 13.9, 0.1);
+    // Media rate in the high-1 MB/s range.
+    EXPECT_GT(p.mediaMBs(), 1.5);
+    EXPECT_LT(p.mediaMBs(), 2.5);
+}
+
+TEST(DiskProfile, WrenIVIsSlower)
+{
+    const DiskProfile &w = disk::wrenIV();
+    const DiskProfile &i = disk::ibm0661();
+    // §2.3: the IBM drives have shorter seek and rotation times.
+    EXPECT_GT(w.avgSeek, i.avgSeek);
+    EXPECT_GT(w.rotationTicks(), i.rotationTicks());
+    // §1: a single Wren sustains ~1.3 MB/s.
+    EXPECT_GT(w.mediaMBs(), 1.1);
+    EXPECT_LT(w.mediaMBs(), 1.7);
+}
+
+TEST(DiskProfile, SeekCurveAnchors)
+{
+    const DiskProfile &p = disk::ibm0661();
+    EXPECT_EQ(p.seekTicks(0), 0u);
+    EXPECT_NEAR(sim::ticksToMs(p.seekTicks(1)),
+                sim::ticksToMs(p.minSeek), 0.05);
+    EXPECT_NEAR(sim::ticksToMs(p.seekTicks(p.cylinders / 3)),
+                sim::ticksToMs(p.avgSeek), 0.05);
+    EXPECT_NEAR(sim::ticksToMs(p.seekTicks(p.cylinders - 1)),
+                sim::ticksToMs(p.maxSeek), 0.05);
+}
+
+TEST(DiskProfile, SeekCurveMonotonic)
+{
+    const DiskProfile &p = disk::ibm0661();
+    Tick prev = 0;
+    for (std::uint32_t d = 1; d < p.cylinders; d += 13) {
+        const Tick t = p.seekTicks(d);
+        EXPECT_GE(t, prev) << "seek not monotonic at distance " << d;
+        prev = t;
+    }
+}
+
+TEST(DiskProfile, Decompose)
+{
+    const DiskProfile &p = disk::ibm0661();
+    std::uint32_t cyl, head, sec;
+    p.decompose(0, cyl, head, sec);
+    EXPECT_EQ(cyl, 0u);
+    EXPECT_EQ(head, 0u);
+    EXPECT_EQ(sec, 0u);
+    p.decompose(std::uint64_t(p.sectorsPerTrack) * p.heads, cyl, head,
+                sec);
+    EXPECT_EQ(cyl, 1u);
+    EXPECT_EQ(head, 0u);
+    EXPECT_EQ(sec, 0u);
+    p.decompose(p.totalSectors() - 1, cyl, head, sec);
+    EXPECT_EQ(cyl, p.cylinders - 1);
+    EXPECT_EQ(head, p.heads - 1);
+    EXPECT_EQ(sec, p.sectorsPerTrack - 1);
+}
+
+TEST(DiskModel, SingleRandomReadServiceTime)
+{
+    sim::EventQueue eq;
+    DiskModel d(eq, "d0", disk::ibm0661());
+    bool done = false;
+    // 4 KB read somewhere in the middle.
+    d.submitBytes(100 * sim::MB, 4096, false, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    // Bounded by cmd overhead + max seek + full rotation + transfer.
+    const double ms = sim::ticksToMs(eq.now());
+    EXPECT_GT(ms, 3.0);
+    EXPECT_LT(ms, 45.0);
+}
+
+TEST(DiskModel, RandomReadsAverageNearSpecs)
+{
+    sim::EventQueue eq;
+    const DiskProfile &p = disk::ibm0661();
+    DiskModel d(eq, "d0", p);
+    sim::Random rng(42);
+    const int n = 300;
+    int done = 0;
+    // Issue sequentially (closed loop) to avoid queue delay in the
+    // service-time stat.
+    std::function<void()> issue = [&] {
+        if (done == n)
+            return;
+        const std::uint64_t sector =
+            rng.below(p.totalSectors() - 8);
+        d.submit(sector, 8, false, [&] {
+            ++done;
+            issue();
+        });
+    };
+    issue();
+    eq.run();
+    EXPECT_EQ(done, n);
+    // Mean service = cmd + avg seek-ish + half rotation + transfer:
+    // roughly 20-30 ms for the IBM 0661.
+    const double mean = d.serviceMs().mean();
+    EXPECT_GT(mean, 15.0);
+    EXPECT_LT(mean, 32.0);
+    EXPECT_EQ(d.requests(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(d.sectorsRead(), static_cast<std::uint64_t>(n) * 8);
+}
+
+TEST(DiskModel, SequentialReadsHitReadAhead)
+{
+    sim::EventQueue eq;
+    const DiskProfile &p = disk::ibm0661();
+    DiskModel d(eq, "d0", p);
+    const std::uint32_t sectors = 128; // 64 KB commands
+    const int n = 50;
+    int done = 0;
+    std::uint64_t pos = 0;
+    std::function<void()> issue = [&] {
+        if (done == n)
+            return;
+        d.submit(pos, sectors, false, [&] {
+            ++done;
+            issue();
+        });
+        pos += sectors;
+    };
+    issue();
+    eq.run();
+    // All but the first command should be read-ahead hits.
+    EXPECT_GE(d.readAheadHits(), static_cast<std::uint64_t>(n - 1));
+    // Sustained rate close to the media rate.
+    const double mbs =
+        sim::mbPerSec(std::uint64_t(n) * sectors * 512, eq.now());
+    EXPECT_GT(mbs, p.mediaMBs() * 0.75);
+    EXPECT_LE(mbs, p.mediaMBs() * 1.01);
+}
+
+TEST(DiskModel, SequentialWritesSlowerThanReads)
+{
+    sim::EventQueue eq;
+    const DiskProfile &p = disk::ibm0661();
+    DiskModel dr(eq, "dr", p);
+    DiskModel dw(eq, "dw", p);
+    const std::uint32_t sectors = 128;
+    const int n = 40;
+    int rdone = 0, wdone = 0;
+    Tick rfinish = 0, wfinish = 0;
+    std::uint64_t rpos = 0, wpos = 0;
+    std::function<void()> rissue = [&] {
+        if (rdone == n) {
+            rfinish = eq.now();
+            return;
+        }
+        dr.submit(rpos, sectors, false, [&] {
+            ++rdone;
+            rissue();
+        });
+        rpos += sectors;
+    };
+    std::function<void()> wissue = [&] {
+        if (wdone == n) {
+            wfinish = eq.now();
+            return;
+        }
+        dw.submit(wpos, sectors, true, [&] {
+            ++wdone;
+            wissue();
+        });
+        wpos += sectors;
+    };
+    rissue();
+    wissue();
+    eq.run();
+    // §2.3/Table 1: reads benefit from track-buffer read-ahead;
+    // writes pay rotational positioning per command.
+    EXPECT_LT(rfinish, wfinish);
+}
+
+TEST(DiskModel, WriteInvalidatesReadAhead)
+{
+    sim::EventQueue eq;
+    DiskModel d(eq, "d0", disk::ibm0661());
+    int step = 0;
+    d.submit(0, 128, false, [&] { ++step; });
+    eq.run();
+    d.submit(1000, 128, true, [&] { ++step; });
+    eq.run();
+    // Sequential continuation of the first read, but the intervening
+    // write killed the buffered stream.
+    d.submit(128, 128, false, [&] { ++step; });
+    eq.run();
+    EXPECT_EQ(step, 3);
+    EXPECT_EQ(d.readAheadHits(), 0u);
+}
+
+TEST(DiskModel, QueueIsServicedCompletely)
+{
+    sim::EventQueue eq;
+    DiskModel d(eq, "d0", disk::ibm0661());
+    int done = 0;
+    for (int i = 0; i < 20; ++i)
+        d.submit(std::uint64_t(i) * 30000, 8, i % 2 == 0,
+                 [&] { ++done; });
+    EXPECT_FALSE(d.idle());
+    eq.run();
+    EXPECT_EQ(done, 20);
+    EXPECT_TRUE(d.idle());
+}
+
+TEST(Scheduler, FcfsOrder)
+{
+    disk::FcfsScheduler s;
+    for (std::uint64_t sec : {500u, 100u, 300u}) {
+        disk::DiskRequest r;
+        r.startSector = sec;
+        s.push(std::move(r));
+    }
+    EXPECT_EQ(s.pop(0).startSector, 500u);
+    EXPECT_EQ(s.pop(0).startSector, 100u);
+    EXPECT_EQ(s.pop(0).startSector, 300u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, ElevatorSweepsUpThenWraps)
+{
+    disk::ElevatorScheduler s;
+    for (std::uint64_t sec : {500u, 100u, 300u, 900u}) {
+        disk::DiskRequest r;
+        r.startSector = sec;
+        s.push(std::move(r));
+    }
+    // Head at 250: service 300, 500, 900, then wrap to 100.
+    EXPECT_EQ(s.pop(250).startSector, 300u);
+    EXPECT_EQ(s.pop(300).startSector, 500u);
+    EXPECT_EQ(s.pop(500).startSector, 900u);
+    EXPECT_EQ(s.pop(900).startSector, 100u);
+}
+
+TEST(DiskModel, ElevatorBeatsFcfsOnBacklog)
+{
+    const DiskProfile &p = disk::ibm0661();
+    auto run_with = [&](std::unique_ptr<disk::Scheduler> sched) {
+        sim::EventQueue eq;
+        DiskModel d(eq, "d", p, std::move(sched));
+        sim::Random rng(7);
+        int done = 0;
+        // Deep backlog of scattered reads submitted at once.
+        std::vector<std::uint64_t> sectors;
+        for (int i = 0; i < 64; ++i)
+            sectors.push_back(rng.below(p.totalSectors() - 8));
+        for (auto s : sectors)
+            d.submit(s, 8, false, [&] { ++done; });
+        eq.run();
+        EXPECT_EQ(done, 64);
+        return eq.now();
+    };
+    const Tick fcfs = run_with(disk::makeFcfsScheduler());
+    const Tick scan = run_with(disk::makeElevatorScheduler());
+    EXPECT_LT(scan, fcfs);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Segment cleaner tests: reclamation of overwritten/deleted space,
+ * data integrity across cleaning, cost-benefit victim choice, the
+ * auto-clean low-water trigger, and cleaning + recovery interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fs/mem_block_device.hh"
+#include "lfs/lfs.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace raid2;
+using lfs::Lfs;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint64_t seed)
+{
+    sim::Random rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.next());
+    return v;
+}
+
+Lfs::Params
+smallParams()
+{
+    Lfs::Params p;
+    p.segBlocks = 32; // 128 KB segments
+    return p;
+}
+
+TEST(LfsCleaner, ReclaimsOverwrittenSegments)
+{
+    fs::MemBlockDevice dev(4096, 8192); // 32 MB
+    Lfs::format(dev, smallParams());
+    Lfs fs(dev);
+
+    const auto ino = fs.create("/f");
+    const auto data = pattern(1024 * 1024, 1);
+    // Overwrite the same 1 MB repeatedly: most segments become dead.
+    for (int round = 0; round < 6; ++round) {
+        auto d = pattern(1024 * 1024, 10 + round);
+        fs.write(ino, 0, {d.data(), d.size()});
+        fs.sync();
+    }
+    const auto before = fs.freeSegments();
+    const unsigned cleaned = fs.clean(
+        static_cast<unsigned>(fs.totalSegments()));
+    EXPECT_GT(cleaned, 0u);
+    EXPECT_GT(fs.freeSegments(), before);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsCleaner, LiveDataSurvivesCleaning)
+{
+    fs::MemBlockDevice dev(4096, 8192);
+    Lfs::format(dev, smallParams());
+    Lfs fs(dev);
+
+    // Interleave two files, then delete one: survivors' segments are
+    // half-live and must be compacted without corrupting the keeper.
+    const auto keep = fs.create("/keep");
+    const auto kill = fs.create("/kill");
+    std::vector<std::uint8_t> keep_ref;
+    const std::uint64_t piece = 64 * 1024;
+    for (int i = 0; i < 40; ++i) {
+        const auto dk = pattern(piece, 100 + i);
+        fs.write(keep, std::uint64_t(i) * piece,
+                 {dk.data(), dk.size()});
+        keep_ref.insert(keep_ref.end(), dk.begin(), dk.end());
+        const auto dx = pattern(piece, 200 + i);
+        fs.write(kill, std::uint64_t(i) * piece,
+                 {dx.data(), dx.size()});
+    }
+    fs.sync();
+    fs.unlink("/kill");
+    fs.sync();
+
+    const unsigned cleaned = fs.clean(
+        static_cast<unsigned>(fs.totalSegments()));
+    EXPECT_GT(cleaned, 0u);
+    EXPECT_GT(fs.stats().cleanerBlocksCopied, 0u);
+
+    std::vector<std::uint8_t> back(keep_ref.size());
+    EXPECT_EQ(fs.read(keep, 0, {back.data(), back.size()}),
+              keep_ref.size());
+    EXPECT_EQ(back, keep_ref);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsCleaner, CleanedDataSurvivesRemount)
+{
+    fs::MemBlockDevice dev(4096, 8192);
+    Lfs::format(dev, smallParams());
+    std::vector<std::uint8_t> ref;
+    {
+        Lfs fs(dev);
+        const auto keep = fs.create("/keep");
+        const auto kill = fs.create("/kill");
+        const auto junk = pattern(512 * 1024, 3);
+        fs.write(kill, 0, {junk.data(), junk.size()});
+        ref = pattern(512 * 1024, 4);
+        fs.write(keep, 0, {ref.data(), ref.size()});
+        fs.sync();
+        fs.unlink("/kill");
+        fs.sync();
+        fs.clean(static_cast<unsigned>(fs.totalSegments()));
+        fs.checkpoint();
+    }
+    Lfs fs(dev);
+    std::vector<std::uint8_t> back(ref.size());
+    fs.read(fs.lookup("/keep"), 0, {back.data(), back.size()});
+    EXPECT_EQ(back, ref);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsCleaner, AutoCleanKeepsTheLogWritable)
+{
+    fs::MemBlockDevice dev(4096, 4096); // 16 MB, tight
+    Lfs::format(dev, smallParams());
+    Lfs fs(dev);
+    fs.setAutoClean(true);
+
+    // Interleave hot overwrites with cold appends into the same
+    // segments: the hot halves die, the cold halves stay live, so new
+    // space can only come from real cleaning.
+    const auto hot = fs.create("/hot");
+    const auto cold = fs.create("/cold");
+    const std::uint64_t region = 2 * 1024 * 1024;
+    std::uint64_t cold_end = 0;
+    sim::Random rng(5);
+    for (int i = 0; i < 600; ++i) {
+        const auto h = pattern(32 * 1024, i);
+        const std::uint64_t off =
+            rng.below((region - h.size()) / 8192) * 8192;
+        ASSERT_NO_THROW(fs.write(hot, off, {h.data(), h.size()}))
+            << "write " << i;
+        const auto c = pattern(8 * 1024, 10000 + i);
+        ASSERT_NO_THROW(fs.write(cold, cold_end,
+                                 {c.data(), c.size()}));
+        cold_end += c.size();
+        if (i % 10 == 0)
+            fs.sync();
+    }
+    EXPECT_GT(fs.stats().cleanerSegmentsCleaned, 0u);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsCleaner, PrefersColdEmptySegments)
+{
+    fs::MemBlockDevice dev(4096, 8192);
+    Lfs::format(dev, smallParams());
+    Lfs fs(dev);
+
+    // Segment group A: written once, then mostly invalidated (cheap
+    // to clean).  Segment group B: fully live (expensive).
+    const auto churn = fs.create("/churn");
+    const auto live = fs.create("/live");
+    const auto a1 = pattern(256 * 1024, 1);
+    fs.write(churn, 0, {a1.data(), a1.size()});
+    fs.sync();
+    const auto b = pattern(256 * 1024, 2);
+    fs.write(live, 0, {b.data(), b.size()});
+    fs.sync();
+    const auto a2 = pattern(256 * 1024, 3);
+    fs.write(churn, 0, {a2.data(), a2.size()}); // kills a1's blocks
+    fs.sync();
+
+    const auto copied_before = fs.stats().cleanerBlocksCopied;
+    fs.clean(static_cast<unsigned>(fs.freeSegments() + 2));
+    const auto copied = fs.stats().cleanerBlocksCopied - copied_before;
+    // Cleaning cheap segments copies few blocks relative to a fully
+    // live segment (32-block segments here).
+    EXPECT_LT(copied, 64u);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsCleaner, IndirectBlocksRelocateCorrectly)
+{
+    fs::MemBlockDevice dev(4096, 8192);
+    Lfs::format(dev, smallParams());
+    Lfs fs(dev);
+
+    // A file large enough to use indirect blocks, interleaved with
+    // junk so its pointer blocks land in mostly-dead segments.
+    const auto big = fs.create("/big");
+    const auto junk = fs.create("/junk");
+    const auto data = pattern(3 * 1024 * 1024, 7);
+    for (std::uint64_t off = 0; off < data.size(); off += 128 * 1024) {
+        fs.write(big, off, {data.data() + off, 128 * 1024});
+        const auto j = pattern(64 * 1024, off);
+        fs.write(junk, 0, {j.data(), j.size()}); // overwrites itself
+    }
+    fs.sync();
+    fs.unlink("/junk");
+    fs.sync();
+    fs.clean(static_cast<unsigned>(fs.totalSegments()));
+
+    std::vector<std::uint8_t> back(data.size());
+    EXPECT_EQ(fs.read(big, 0, {back.data(), back.size()}),
+              data.size());
+    EXPECT_EQ(back, data);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: EventQueue ordering and
+ * cancellation, Random determinism and distribution sanity, stats
+ * containers, Service queueing math and Pipeline throughput laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/service.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace raid2;
+using sim::Tick;
+
+TEST(Types, Conversions)
+{
+    EXPECT_EQ(sim::msToTicks(1.0), 1000000u);
+    EXPECT_EQ(sim::usToTicks(1.0), 1000u);
+    EXPECT_EQ(sim::secToTicks(1.0), 1000000000u);
+    EXPECT_DOUBLE_EQ(sim::ticksToMs(2000000), 2.0);
+    // 10 MB at 10 MB/s takes one second.
+    EXPECT_EQ(sim::transferTicks(10 * sim::MB, 10.0), sim::nsPerSec);
+    EXPECT_DOUBLE_EQ(sim::mbPerSec(10 * sim::MB, sim::nsPerSec), 10.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, Cancel)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    auto id = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilDone)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(Tick(i) * 10, [&] { ++fired; });
+    EXPECT_TRUE(eq.runUntilDone([&] { return fired >= 3; }));
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(eq.runUntilDone([&] { return fired >= 100 || fired == 10; }));
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Random, Deterministic)
+{
+    sim::Random a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    sim::Random a2(7);
+    for (int i = 0; i < 100; ++i)
+        differs = differs || a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Random, BelowIsInRangeAndCoversIt)
+{
+    sim::Random r(123);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = r.below(10);
+        ASSERT_LT(v, 10u);
+        ++seen[static_cast<int>(v)];
+    }
+    for (int count : seen)
+        EXPECT_GT(count, 700); // ~1000 expected each
+}
+
+TEST(Random, UnitAndExponential)
+{
+    sim::Random r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.unit();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+
+    double esum = 0;
+    for (int i = 0; i < 10000; ++i)
+        esum += r.exponential(3.0);
+    EXPECT_NEAR(esum / 10000.0, 3.0, 0.15);
+}
+
+TEST(Stats, Distribution)
+{
+    sim::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(3.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_NEAR(d.stddev(), 0.8165, 1e-3);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Stats, HistogramQuantiles)
+{
+    sim::Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    h.sample(-5);
+    h.sample(1e9);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(99), 2u);
+}
+
+TEST(Stats, Utilization)
+{
+    sim::Utilization u;
+    u.addBusy(0, 500);
+    u.addBusy(600, 700);
+    EXPECT_EQ(u.busy(), 600u);
+    EXPECT_DOUBLE_EQ(u.fraction(1000), 0.6);
+}
+
+TEST(Service, RateAndOverheadMath)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "svc",
+                     sim::Service::Config{10.0, sim::usToTicks(100), 1});
+    // 1 MB at 10 MB/s = 100 ms (+ 0.1 ms overhead).
+    EXPECT_EQ(svc.serviceTime(sim::MB),
+              sim::msToTicks(100) + sim::usToTicks(100));
+}
+
+TEST(Service, FifoQueueing)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "svc", sim::Service::Config{10.0, 0, 1});
+    std::vector<Tick> finishes;
+    // Two 1 MB requests submitted together: 100 ms and 200 ms.
+    svc.submit(sim::MB, [&] { finishes.push_back(eq.now()); });
+    svc.submit(sim::MB, [&] { finishes.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(finishes.size(), 2u);
+    EXPECT_EQ(finishes[0], sim::msToTicks(100));
+    EXPECT_EQ(finishes[1], sim::msToTicks(200));
+    EXPECT_EQ(svc.bytesServed(), 2 * sim::MB);
+    EXPECT_EQ(svc.requests(), 2u);
+}
+
+TEST(Service, MultiServerConcurrency)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "svc", sim::Service::Config{10.0, 0, 4});
+    int finished = 0;
+    for (int i = 0; i < 4; ++i)
+        svc.submit(sim::MB, [&] { ++finished; });
+    eq.run();
+    EXPECT_EQ(finished, 4);
+    // All four in parallel: total time one service period.
+    EXPECT_EQ(eq.now(), sim::msToTicks(100));
+}
+
+TEST(Service, RateOverride)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "vme", sim::Service::Config{6.9, 0, 1});
+    Tick read_done = 0, write_done = 0;
+    svc.submitAtRate(sim::MB, 6.9, [&] { read_done = eq.now(); });
+    svc.submitAtRate(sim::MB, 5.9, [&] { write_done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(read_done, sim::transferTicks(sim::MB, 6.9));
+    EXPECT_EQ(write_done,
+              read_done + sim::transferTicks(sim::MB, 5.9));
+}
+
+TEST(Service, UtilizationAndQueueDelayAccounting)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "svc", sim::Service::Config{10.0, 0, 1});
+    // Two back-to-back 1 MB requests: the second queues for 100 ms.
+    svc.submit(sim::MB, [] {});
+    svc.submit(sim::MB, [] {});
+    eq.run();
+    EXPECT_EQ(svc.busyTicks(), sim::msToTicks(200));
+    EXPECT_DOUBLE_EQ(svc.utilization(eq.now()), 1.0);
+    EXPECT_EQ(svc.queueDelay().count(), 2u);
+    EXPECT_DOUBLE_EQ(svc.queueDelay().min(), 0.0);
+    EXPECT_NEAR(svc.queueDelay().max(), 100.0, 0.01);
+
+    svc.resetStats();
+    EXPECT_EQ(svc.requests(), 0u);
+    EXPECT_EQ(svc.bytesServed(), 0u);
+    EXPECT_EQ(svc.busyTicks(), 0u);
+}
+
+TEST(Service, IdleReflectsOutstandingWork)
+{
+    sim::EventQueue eq;
+    sim::Service svc(eq, "svc", sim::Service::Config{10.0, 0, 1});
+    EXPECT_TRUE(svc.idle());
+    svc.submit(sim::MB, [] {});
+    EXPECT_FALSE(svc.idle());
+    eq.run();
+    EXPECT_TRUE(svc.idle());
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    const auto id = eq.schedule(5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(Pipeline, ThroughputIsMinStageRate)
+{
+    sim::EventQueue eq;
+    sim::Service fast(eq, "fast", sim::Service::Config{40.0, 0, 1});
+    sim::Service slow(eq, "slow", sim::Service::Config{10.0, 0, 1});
+    sim::Service fast2(eq, "fast2", sim::Service::Config{40.0, 0, 1});
+    bool done = false;
+    const std::uint64_t bytes = 10 * sim::MB;
+    sim::Pipeline::start(eq, {&fast, &slow, &fast2}, bytes, 64 * 1024,
+                         [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    const double mbs = sim::mbPerSec(bytes, eq.now());
+    // Pipelined: close to the bottleneck's 10 MB/s, not the serial
+    // 1/(1/40 + 1/10 + 1/40) = 6.67.
+    EXPECT_GT(mbs, 9.0);
+    EXPECT_LE(mbs, 10.01);
+}
+
+TEST(Pipeline, SmallTransferLatencyIsSumOfStages)
+{
+    sim::EventQueue eq;
+    sim::Service a(eq, "a", sim::Service::Config{10.0, 0, 1});
+    sim::Service b(eq, "b", sim::Service::Config{10.0, 0, 1});
+    bool done = false;
+    sim::Pipeline::start(eq, {&a, &b}, 64 * 1024, 64 * 1024,
+                         [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq.now(), 2 * sim::transferTicks(64 * 1024, 10.0));
+}
+
+TEST(Pipeline, SharedStageSerializesTwoTransfers)
+{
+    sim::EventQueue eq;
+    sim::Service shared(eq, "bus", sim::Service::Config{10.0, 0, 1});
+    int done = 0;
+    sim::Pipeline::start(eq, {&shared}, sim::MB, 64 * 1024,
+                         [&] { ++done; });
+    sim::Pipeline::start(eq, {&shared}, sim::MB, 64 * 1024,
+                         [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 2);
+    // 2 MB through one 10 MB/s stage = 200 ms.
+    EXPECT_EQ(eq.now(), sim::msToTicks(200));
+}
+
+TEST(Pipeline, ZeroByteTransferStillCompletes)
+{
+    sim::EventQueue eq;
+    sim::Service a(eq, "a", sim::Service::Config{10.0, 0, 1});
+    bool done = false;
+    sim::Pipeline::start(eq, {&a}, 0, 4096, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+} // namespace
