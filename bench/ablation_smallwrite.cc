@@ -75,8 +75,9 @@ ffsCost()
                  {prefill.data(), prefill.size()});
 
     std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
-    hook.setWriteHook([&](std::uint64_t off, std::uint64_t len, bool) {
-        writes.emplace_back(off, len);
+    hook.setHook([&](std::uint64_t off, std::uint64_t len, bool is_write) {
+        if (is_write)
+            writes.emplace_back(off, len);
     });
 
     sim::Random rng(3);

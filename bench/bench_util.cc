@@ -1,5 +1,13 @@
 #include "bench_util.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+
 namespace raid2::bench {
 
 void
@@ -69,6 +77,148 @@ lfsConfig()
     // "several pipeline processes issuing read requests" (§3.3)
     cfg.pipelineDepth = 8;
     return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Reporter
+// ---------------------------------------------------------------------
+
+Reporter::Reporter(std::string name, int argc, char **argv)
+    : _name(std::move(name))
+{
+    if (const char *env = std::getenv("RAID2_BENCH_JSON");
+        env && *env && std::strcmp(env, "0") != 0)
+        _json = true;
+    if (const char *env = std::getenv("RAID2_TRACE"); env && *env &&
+        std::strcmp(env, "0") != 0)
+        _tracePath = std::strcmp(env, "1") == 0
+                         ? "TRACE_" + _name + ".json"
+                         : env;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            _json = true;
+        } else if (arg == "--trace") {
+            _tracePath = "TRACE_" + _name + ".json";
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            _tracePath = arg.substr(std::strlen("--trace="));
+        }
+    }
+}
+
+Reporter::~Reporter()
+{
+    if (_json)
+        writeJson();
+    if (_tracer && traceEnabled()) {
+        if (_tracer->writeChromeTrace(_tracePath))
+            std::printf("\n  trace written to %s\n", _tracePath.c_str());
+        else
+            std::fprintf(stderr, "  could not write trace to %s\n",
+                         _tracePath.c_str());
+    }
+}
+
+void
+Reporter::header(const std::string &title, const std::string &paper_ref)
+{
+    _title = title;
+    _paperRef = paper_ref;
+    printHeader(title, paper_ref);
+}
+
+void
+Reporter::row(const std::string &name, double value,
+              const std::string &unit, const std::string &paper)
+{
+    _points.push_back(Point{name, value, unit, paper});
+    printRow(name, value, unit, paper);
+}
+
+void
+Reporter::seriesHeader(const std::vector<std::string> &cols)
+{
+    _seriesCols = cols;
+    printSeriesHeader(cols);
+}
+
+void
+Reporter::seriesRow(const std::vector<double> &vals)
+{
+    _seriesRows.push_back(vals);
+    printSeriesRow(vals);
+}
+
+void
+Reporter::snapshotRegistry(const sim::StatsRegistry &reg)
+{
+    std::ostringstream ss;
+    reg.toJson(ss, /*pretty=*/false);
+    _registryJson = ss.str();
+}
+
+sim::TraceSink *
+Reporter::makeTracer(sim::EventQueue &eq)
+{
+    if (!traceEnabled())
+        return nullptr;
+    _tracer = std::make_unique<sim::TraceSink>(eq);
+    eq.setTracer(_tracer.get());
+    return _tracer.get();
+}
+
+void
+Reporter::writeJson() const
+{
+    const std::string path = jsonPath();
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "  could not write %s\n", path.c_str());
+        return;
+    }
+    sim::JsonWriter jw(os, /*pretty=*/true);
+    jw.beginObject();
+    jw.kv("bench", _name);
+    jw.kv("title", _title);
+    jw.kv("paper_ref", _paperRef);
+    jw.key("points");
+    jw.beginArray();
+    for (const Point &p : _points) {
+        jw.beginObject();
+        jw.kv("name", p.name);
+        jw.kv("value", p.value);
+        jw.kv("unit", p.unit);
+        jw.kv("paper", p.paper);
+        jw.endObject();
+    }
+    jw.endArray();
+    if (!_seriesCols.empty()) {
+        jw.key("series");
+        jw.beginObject();
+        jw.key("columns");
+        jw.beginArray();
+        for (const auto &c : _seriesCols)
+            jw.value(c);
+        jw.endArray();
+        jw.key("rows");
+        jw.beginArray();
+        for (const auto &r : _seriesRows) {
+            jw.beginArray();
+            for (double v : r)
+                jw.value(v);
+            jw.endArray();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+    if (!_registryJson.empty()) {
+        jw.key("registry");
+        jw.rawValue(_registryJson);
+    }
+    jw.endObject();
+    os << "\n";
+    std::printf("\n  results written to %s\n", path.c_str());
 }
 
 } // namespace raid2::bench

@@ -21,21 +21,30 @@
 using namespace raid2;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Figure 6: HIPPI loopback throughput vs request "
-                       "size",
-                       "paper: 1.1 ms packet overhead, 38.5 MB/s "
-                       "asymptote");
+    bench::Reporter rep("fig6_hippi", argc, argv);
+    rep.header("Figure 6: HIPPI loopback throughput vs request "
+               "size",
+               "paper: 1.1 ms packet overhead, 38.5 MB/s "
+               "asymptote");
 
-    bench::printSeriesHeader({"req KB", "MB/s"});
+    rep.seriesHeader({"req KB", "MB/s"});
     const std::vector<std::uint64_t> sizes_kb = {
         4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
 
+    const std::uint64_t last_kb = sizes_kb.back();
     for (std::uint64_t kb : sizes_kb) {
         sim::EventQueue eq;
         xbus::XbusBoard board(eq, "xbus");
         net::HippiLoopback loop(eq, board);
+
+        sim::StatsRegistry reg;
+        if (kb == last_kb) {
+            board.registerStats(reg, "xbus");
+            reg.setElapsed([&eq] { return eq.now(); });
+            rep.makeTracer(eq);
+        }
 
         const std::uint64_t bytes = kb * sim::KB;
         const int reps = 20;
@@ -53,7 +62,9 @@ main()
 
         const double mbs =
             sim::mbPerSec(std::uint64_t(reps) * bytes, eq.now());
-        bench::printSeriesRow({static_cast<double>(kb), mbs});
+        rep.seriesRow({static_cast<double>(kb), mbs});
+        if (kb == last_kb)
+            rep.snapshotRegistry(reg);
     }
 
     std::printf("\n  Expected shape: overhead-dominated at small sizes,"

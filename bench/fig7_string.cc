@@ -23,22 +23,31 @@
 using namespace raid2;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Figure 7: read throughput vs disks on one SCSI "
-                       "string",
-                       "paper: saturates at about 3 MB/s (3.4 calibrated "
-                       "from Table 1); single disk well below");
+    bench::Reporter rep("fig7_string", argc, argv);
+    rep.header("Figure 7: read throughput vs disks on one SCSI "
+               "string",
+               "paper: saturates at about 3 MB/s (3.4 calibrated "
+               "from Table 1); single disk well below");
 
-    bench::printSeriesHeader({"disks", "MB/s", "linear MB/s"});
+    rep.seriesHeader({"disks", "MB/s", "linear MB/s"});
 
+    const unsigned max_disks = 6;
     double single_disk_mbs = 0.0;
-    for (unsigned ndisks = 1; ndisks <= 6; ++ndisks) {
+    for (unsigned ndisks = 1; ndisks <= max_disks; ++ndisks) {
         sim::EventQueue eq;
         scsi::CougarController cougar(eq, "cougar");
         // A fast sink stands in for the rest of the datapath so the
         // string is the only possible bottleneck.
         sim::Service sink(eq, "sink", sim::Service::Config{400.0, 0, 8});
+
+        sim::StatsRegistry reg;
+        if (ndisks == max_disks) {
+            cougar.registerStats(reg, "scsi.cougar0");
+            reg.setElapsed([&eq] { return eq.now(); });
+            rep.makeTracer(eq);
+        }
 
         std::vector<std::unique_ptr<disk::DiskModel>> disks;
         std::vector<std::unique_ptr<scsi::DiskChannel>> channels;
@@ -48,6 +57,9 @@ main()
             cougar.string(0).attach(disks.back().get());
             channels.push_back(std::make_unique<scsi::DiskChannel>(
                 eq, *disks.back(), cougar.string(0), cougar));
+            if (ndisks == max_disks)
+                disks.back()->registerStats(reg,
+                                            "disk." + std::to_string(i));
         }
 
         const std::uint64_t req = 64 * sim::KB;
@@ -81,8 +93,10 @@ main()
         const double mbs = sim::mbPerSec(bytes_done, eq.now());
         if (ndisks == 1)
             single_disk_mbs = mbs;
-        bench::printSeriesRow({static_cast<double>(ndisks), mbs,
-                               single_disk_mbs * ndisks});
+        rep.seriesRow({static_cast<double>(ndisks), mbs,
+                       single_disk_mbs * ndisks});
+        if (ndisks == max_disks)
+            rep.snapshotRegistry(reg);
     }
 
     std::printf("\n  Expected shape: ~1.6 MB/s for one disk, capped "

@@ -12,6 +12,7 @@
  * single SPARCstation client writing to the disk array."
  */
 
+#include <cstdlib>
 #include <functional>
 
 #include "bench_util.hh"
@@ -31,7 +32,7 @@ struct ClientRun
 };
 
 ClientRun
-run(bool reads, bool polling_driver)
+run(bool reads, bool polling_driver, bench::Reporter *rep = nullptr)
 {
     sim::EventQueue eq;
     auto cfg = bench::lfsConfig();
@@ -41,6 +42,14 @@ run(bool reads, bool polling_driver)
     server::RaidFileClient::Config pcfg;
     pcfg.pollingDriver = polling_driver;
     server::RaidFileClient lib(eq, srv, client, ultranet, pcfg);
+
+    sim::StatsRegistry reg;
+    if (rep) {
+        srv.registerStats(reg);
+        ultranet.registerStats(reg, "ultranet");
+        reg.setElapsed([&eq] { return eq.now(); });
+        rep->makeTracer(eq);
+    }
 
     const std::uint64_t req = 1 * sim::MB;
     const std::uint64_t total = 48 * sim::MB;
@@ -63,7 +72,12 @@ run(bool reads, bool polling_driver)
             finished = true;
             return;
         }
-        auto cont = [&](std::uint64_t n) {
+        auto cont = [&](server::RaidFileClient::Status st,
+                        std::uint64_t n) {
+            if (st != server::RaidFileClient::Status::Ok) {
+                std::fprintf(stderr, "net_client: transfer failed\n");
+                std::exit(1);
+            }
             moved += n;
             step();
         };
@@ -72,43 +86,53 @@ run(bool reads, bool polling_driver)
         else
             lib.raidWrite(handle, req, cont);
     };
-    lib.raidOpen("/movie", !reads, [&](server::RaidFileClient::Handle h) {
-        handle = h;
-        start = eq.now();
-        step();
-    });
+    lib.raidOpen("/movie", !reads,
+                 [&](server::RaidFileClient::Status st,
+                     server::RaidFileClient::Handle h) {
+                     if (st != server::RaidFileClient::Status::Ok) {
+                         std::fprintf(stderr,
+                                      "net_client: open failed\n");
+                         std::exit(1);
+                     }
+                     handle = h;
+                     start = eq.now();
+                     step();
+                 });
     eq.runUntilDone([&] { return finished; });
 
     ClientRun out;
     out.mbs = sim::mbPerSec(moved, eq.now() - start);
     out.host_util =
         srv.host().cpu().utilization(eq.now() - start);
+    if (rep)
+        rep->snapshotRegistry(reg);
     return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("§3.4: single SPARCstation 10/51 client over the "
-                       "Ultranet",
-                       "paper: client writes 3.1 MB/s; polling-driver "
-                       "reads 3.2 MB/s");
+    bench::Reporter rep("net_client", argc, argv);
+    rep.header("§3.4: single SPARCstation 10/51 client over the "
+               "Ultranet",
+               "paper: client writes 3.1 MB/s; polling-driver "
+               "reads 3.2 MB/s");
 
     const auto wr = run(false, false);
     const auto rd_poll = run(true, true);
-    const auto rd_intr = run(true, false);
+    const auto rd_intr = run(true, false, &rep);
 
-    bench::printRow("Client write to RAID-II", wr.mbs, "MB/s", "3.1");
-    bench::printRow("Client read, polling driver", rd_poll.mbs, "MB/s",
-                    "3.2");
-    bench::printRow("Client read, interrupt driver", rd_intr.mbs,
-                    "MB/s", "client-NIC bound (~3.2)");
-    bench::printRow("Host CPU utilization (writes)",
-                    100.0 * wr.host_util, "%", "close to zero");
-    bench::printRow("Host CPU utilization (polling reads)",
-                    100.0 * rd_poll.host_util, "%", "high (busy-waits)");
+    rep.row("Client write to RAID-II", wr.mbs, "MB/s", "3.1");
+    rep.row("Client read, polling driver", rd_poll.mbs, "MB/s",
+            "3.2");
+    rep.row("Client read, interrupt driver", rd_intr.mbs,
+            "MB/s", "client-NIC bound (~3.2)");
+    rep.row("Host CPU utilization (writes)",
+            100.0 * wr.host_util, "%", "close to zero");
+    rep.row("Host CPU utilization (polling reads)",
+            100.0 * rd_poll.host_util, "%", "high (busy-waits)");
 
     std::printf("\n  Expected shape: both directions limited to ~3 MB/s "
                 "by the client's\n  copy-bound NIC path, far below the "

@@ -62,11 +62,14 @@ serveFile(std::uint64_t bytes)
         bool done = false;
         sim::Tick t0 = 0;
         lib.raidOpen("/file", false,
-                     [&](server::RaidFileClient::Handle h) {
+                     [&](server::RaidFileClient::Status,
+                         server::RaidFileClient::Handle h) {
                          t0 = eq.now();
-                         lib.raidRead(h, bytes, [&](std::uint64_t) {
-                             done = true;
-                         });
+                         lib.raidRead(h, bytes,
+                                      [&](server::RaidFileClient::Status,
+                                          std::uint64_t) {
+                                          done = true;
+                                      });
                      });
         eq.runUntilDone([&] { return done; });
         res.fast_ms = sim::ticksToMs(eq.now() - t0);

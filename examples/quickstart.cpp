@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <vector>
 
@@ -63,14 +64,25 @@ main()
             server.fsSync([&] { write_finished = true; });
             return;
         }
-        lib.raidWrite(handle, req, [&](std::uint64_t n) {
-            written += n;
-            write_next();
-        });
+        lib.raidWrite(handle, req,
+                      [&](server::RaidFileClient::Status st,
+                          std::uint64_t n) {
+                          if (st != server::RaidFileClient::Status::Ok) {
+                              std::printf("raid_write failed\n");
+                              std::exit(1);
+                          }
+                          written += n;
+                          write_next();
+                      });
     };
     server.fs().mkdir("/demo"); // parent directory for the new file
     lib.raidOpen("/demo/movie.bin", /*create=*/true,
-                 [&](server::RaidFileClient::Handle h) {
+                 [&](server::RaidFileClient::Status st,
+                     server::RaidFileClient::Handle h) {
+                     if (st != server::RaidFileClient::Status::Ok) {
+                         std::printf("raid_open failed\n");
+                         std::exit(1);
+                     }
                      handle = h;
                      write_start = eq.now();
                      write_next();
@@ -90,10 +102,16 @@ main()
             read_finished = true;
             return;
         }
-        lib.raidRead(handle, req, [&](std::uint64_t n) {
-            read_back += n;
-            read_next();
-        });
+        lib.raidRead(handle, req,
+                     [&](server::RaidFileClient::Status st,
+                         std::uint64_t n) {
+                         if (st != server::RaidFileClient::Status::Ok) {
+                             std::printf("raid_read failed\n");
+                             std::exit(1);
+                         }
+                         read_back += n;
+                         read_next();
+                     });
     };
     read_next();
     eq.runUntilDone([&] { return read_finished; });

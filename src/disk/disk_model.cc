@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+#include "sim/trace_sink.hh"
 
 namespace raid2::disk {
 
@@ -81,6 +83,9 @@ DiskModel::startNext()
     _serviceMs.sample(sim::ticksToMs(service));
     _positionMs.sample(sim::ticksToMs(positioning));
     busyTime.addBusy(start, finish);
+    if (auto *t = eq.tracer())
+        t->complete(_name, req->write ? "write" : "read", start, finish,
+                    std::uint64_t(req->sectors) * prof.sectorBytes);
 
     eq.schedule(finish, [this, req] {
         if (!req->write) {
@@ -148,6 +153,24 @@ DiskModel::computeService(const DiskRequest &req, Tick start,
     headSector = end_sector;
 
     return t;
+}
+
+void
+DiskModel::registerStats(sim::StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".requests",
+                 [this] { return static_cast<double>(_requests); });
+    reg.addGauge(prefix + ".sectors_read",
+                 [this] { return static_cast<double>(_sectorsRead); });
+    reg.addGauge(prefix + ".sectors_written",
+                 [this] { return static_cast<double>(_sectorsWritten); });
+    reg.addGauge(prefix + ".readahead_hits",
+                 [this] { return static_cast<double>(_readAheadHits); });
+    reg.add(prefix + ".service_ms", _serviceMs);
+    reg.add(prefix + ".position_ms", _positionMs);
+    reg.add(prefix + ".queue_depth", _queueDepth);
+    reg.add(prefix + ".busy", busyTime);
 }
 
 void

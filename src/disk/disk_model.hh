@@ -71,6 +71,9 @@ class DiskModel
     const sim::Distribution &queueDepth() const { return _queueDepth; }
     sim::Tick busyTicks() const { return busyTime.busy(); }
     void resetStats();
+    /** Register all drive stats under @p prefix (e.g. "disk.0"). */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
     /** @} */
 
   private:

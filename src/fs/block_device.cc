@@ -1,8 +1,17 @@
 #include "fs/block_device.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::fs {
+
+void
+BlockDevice::registerStats(sim::StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.add(prefix + ".reads", _reads);
+    reg.add(prefix + ".writes", _writes);
+}
 
 void
 BlockDevice::checkAccess(std::uint64_t bno, std::size_t len) const

@@ -15,7 +15,10 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "sim/stats.hh"
 
 namespace raid2::fs {
 
@@ -52,19 +55,32 @@ class BlockDevice
     /** @} */
 
     /** @{ Statistics (maintained by implementations via note*()). */
-    std::uint64_t readCount() const { return _reads; }
-    std::uint64_t writeCount() const { return _writes; }
-    void resetCounters() { _reads = _writes = 0; }
+    const sim::Scalar &readsStat() const { return _reads; }
+    const sim::Scalar &writesStat() const { return _writes; }
+    [[deprecated("read readsStat() or a StatsRegistry snapshot")]]
+    std::uint64_t readCount() const { return _reads.value(); }
+    [[deprecated("read writesStat() or a StatsRegistry snapshot")]]
+    std::uint64_t writeCount() const { return _writes.value(); }
+    void
+    resetCounters()
+    {
+        _reads.reset();
+        _writes.reset();
+    }
+
+    /** Register "<prefix>.reads" / "<prefix>.writes". */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
     /** @} */
 
   protected:
     void checkAccess(std::uint64_t bno, std::size_t len) const;
-    void noteRead() { ++_reads; }
-    void noteWrite() { ++_writes; }
+    void noteRead() { _reads.inc(); }
+    void noteWrite() { _writes.inc(); }
 
   private:
-    std::uint64_t _reads = 0;
-    std::uint64_t _writes = 0;
+    mutable sim::Scalar _reads;
+    mutable sim::Scalar _writes;
 };
 
 /**
@@ -94,8 +110,8 @@ class HookBlockDevice : public BlockDevice
     {
         noteRead();
         inner.readBlock(bno, out);
-        if (readHook)
-            readHook(bno * blockSize(), blockSize(), false);
+        if (hook)
+            hook(bno * blockSize(), blockSize(), false);
     }
 
     void
@@ -104,19 +120,19 @@ class HookBlockDevice : public BlockDevice
     {
         noteWrite();
         inner.writeBlock(bno, data);
-        if (writeHook)
-            writeHook(bno * blockSize(), blockSize(), true);
+        if (hook)
+            hook(bno * blockSize(), blockSize(), true);
     }
 
     void flush() override { inner.flush(); }
 
-    void setReadHook(Hook h) { readHook = std::move(h); }
-    void setWriteHook(Hook h) { writeHook = std::move(h); }
+    /** Observe every access; the is_write argument tells reads from
+     *  writes. */
+    void setHook(Hook h) { hook = std::move(h); }
 
   private:
     BlockDevice &inner;
-    Hook readHook;
-    Hook writeHook;
+    Hook hook;
 };
 
 } // namespace raid2::fs

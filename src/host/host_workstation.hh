@@ -73,6 +73,15 @@ class HostWorkstation
 
     const Config &config() const { return cfg; }
 
+    /** Register cpu/copy/backplane station stats under @p prefix. */
+    void
+    registerStats(sim::StatsRegistry &reg, const std::string &prefix) const
+    {
+        _cpu.registerStats(reg, prefix + ".cpu");
+        _memory.registerStats(reg, prefix + ".memory_copy");
+        _backplane.registerStats(reg, prefix + ".backplane");
+    }
+
   private:
     std::string _name;
     Config cfg;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "sim/stats_registry.hh"
+
 namespace raid2::net {
 
 EthernetLink::EthernetLink(sim::EventQueue &eq_, std::string name)
@@ -31,6 +33,15 @@ EthernetLink::send(std::uint64_t bytes, std::function<void()> done)
         })
                                : std::function<void()>());
     }
+}
+
+void
+EthernetLink::registerStats(sim::StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    _wire.registerStats(reg, prefix + ".wire");
+    reg.addGauge(prefix + ".packets",
+                 [this] { return static_cast<double>(_packets); });
 }
 
 } // namespace raid2::net

@@ -33,6 +33,10 @@ class EthernetLink
     sim::Service &wire() { return _wire; }
     std::uint64_t packets() const { return _packets; }
 
+    /** Register wire + packet stats under @p prefix. */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     sim::EventQueue &eq;
     std::string _name;

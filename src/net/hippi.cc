@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "sim/stats_registry.hh"
+#include "sim/trace_sink.hh"
+
 namespace raid2::net {
 
 HippiChannel::HippiChannel(sim::EventQueue &eq_, std::string name,
@@ -31,8 +34,28 @@ HippiChannel::send(std::uint64_t bytes, std::vector<sim::Stage> pre,
     // The setup cost serializes on the source port: the host pokes the
     // HIPPI and XBUS control registers before data can move.
     srcPort.submitBusyTime(setup, nullptr);
+    if (auto *t = eq.tracer()) {
+        const auto span = t->begin(_name, "packet", bytes);
+        sim::Pipeline::start(eq, stages, bytes, cal::xbusChunkBytes,
+                             [t, span, done = std::move(done)] {
+                                 t->end(span);
+                                 if (done)
+                                     done();
+                             });
+        return;
+    }
     sim::Pipeline::start(eq, stages, bytes, cal::xbusChunkBytes,
                          std::move(done));
+}
+
+void
+HippiChannel::registerStats(sim::StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".packets",
+                 [this] { return static_cast<double>(_packets); });
+    reg.addGauge(prefix + ".bytes",
+                 [this] { return static_cast<double>(_bytes); });
 }
 
 HippiLoopback::HippiLoopback(sim::EventQueue &eq, xbus::XbusBoard &board_)

@@ -50,6 +50,10 @@ class HippiChannel
 
     const std::string &name() const { return _name; }
 
+    /** Register packet/byte counters under @p prefix. */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     sim::EventQueue &eq;
     std::string _name;

@@ -39,6 +39,13 @@ class UltranetFabric
 
     sim::Service &ring() { return _ring; }
 
+    /** Register the shared ring stage's stats under "<prefix>.ring". */
+    void
+    registerStats(sim::StatsRegistry &reg, const std::string &prefix) const
+    {
+        _ring.registerStats(reg, prefix + ".ring");
+    }
+
   private:
     sim::EventQueue &eq;
     std::string _name;

@@ -5,6 +5,8 @@
 
 #include "config/calibration.hh"
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+#include "sim/trace_sink.hh"
 
 namespace raid2::raid {
 
@@ -201,10 +203,12 @@ SimArray::read(std::uint64_t off, std::uint64_t len,
     auto remaining = std::make_shared<std::size_t>(extents.size());
     auto done_ptr =
         std::make_shared<std::function<void()>>(std::move(done));
-    auto finish = [this, remaining, done_ptr, start] {
+    auto finish = [this, remaining, done_ptr, start, len] {
         if (--*remaining > 0)
             return;
         _readMs.sample(sim::ticksToMs(eq.now() - start));
+        if (auto *t = eq.tracer())
+            t->complete(_name, "array_read", start, eq.now(), len);
         if (*done_ptr)
             (*done_ptr)();
     };
@@ -221,7 +225,11 @@ SimArray::lockStripe(std::uint64_t stripe, std::function<void()> run)
         return;
     }
     ++_stripeLockWaits;
-    it->second.push_back(std::move(run));
+    const sim::Tick queued = eq.now();
+    it->second.push_back([this, queued, run = std::move(run)] {
+        _stripeLockWaitMs.sample(sim::ticksToMs(eq.now() - queued));
+        run();
+    });
 }
 
 void
@@ -378,8 +386,10 @@ SimArray::write(std::uint64_t off, std::uint64_t len,
 
     auto done_ptr =
         std::make_shared<std::function<void()>>(std::move(done));
-    auto record = [this, done_ptr, start] {
+    auto record = [this, done_ptr, start, len] {
         _writeMs.sample(sim::ticksToMs(eq.now() - start));
+        if (auto *t = eq.tracer())
+            t->complete(_name, "array_write", start, eq.now(), len);
         if (*done_ptr)
             (*done_ptr)();
     };
@@ -444,13 +454,49 @@ SimArray::write(std::uint64_t off, std::uint64_t len,
 }
 
 void
+SimArray::registerStats(sim::StatsRegistry &reg,
+                        const std::string &array_prefix,
+                        const std::string &disk_prefix,
+                        const std::string &scsi_prefix) const
+{
+    reg.addGauge(array_prefix + ".reads",
+                 [this] { return static_cast<double>(_reads); });
+    reg.addGauge(array_prefix + ".writes",
+                 [this] { return static_cast<double>(_writes); });
+    reg.addGauge(array_prefix + ".bytes_read",
+                 [this] { return static_cast<double>(_bytesRead); });
+    reg.addGauge(array_prefix + ".bytes_written",
+                 [this] { return static_cast<double>(_bytesWritten); });
+    reg.addGauge(array_prefix + ".rmw_stripes",
+                 [this] { return static_cast<double>(_rmwStripes); });
+    reg.addGauge(array_prefix + ".reconstruct_write_stripes",
+                 [this] { return static_cast<double>(_rwStripes); });
+    reg.addGauge(array_prefix + ".full_stripe_writes",
+                 [this] { return static_cast<double>(_fullStripes); });
+    reg.addGauge(array_prefix + ".stripe_lock_waits", [this] {
+        return static_cast<double>(_stripeLockWaits);
+    });
+    reg.add(array_prefix + ".stripe_lock_wait_ms", _stripeLockWaitMs);
+    reg.add(array_prefix + ".read_ms", _readMs);
+    reg.add(array_prefix + ".write_ms", _writeMs);
+    for (std::size_t d = 0; d < disks.size(); ++d)
+        disks[d]->registerStats(reg,
+                                disk_prefix + "." + std::to_string(d));
+    for (std::size_t c = 0; c < cougars.size(); ++c)
+        cougars[c]->registerStats(
+            reg, scsi_prefix + ".cougar" + std::to_string(c));
+}
+
+void
 SimArray::resetStats()
 {
     _reads = _writes = 0;
     _bytesRead = _bytesWritten = 0;
     _rmwStripes = _rwStripes = _fullStripes = 0;
+    _stripeLockWaits = 0;
     _readMs.reset();
     _writeMs.reset();
+    _stripeLockWaitMs.reset();
     for (auto &d : disks)
         d->resetStats();
 }

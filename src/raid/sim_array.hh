@@ -127,7 +127,22 @@ class SimArray
     std::uint64_t fullStripeWrites() const { return _fullStripes; }
     /** Writes that had to queue behind a stripe lock. */
     std::uint64_t stripeLockWaits() const { return _stripeLockWaits; }
+    /** Time writes spent queued behind stripe locks (ms). */
+    const sim::Distribution &stripeLockWaitMs() const
+    {
+        return _stripeLockWaitMs;
+    }
     void resetStats();
+
+    /**
+     * Register array-level stats under @p array_prefix plus the member
+     * disks under "<disk_prefix>.N" and the Cougar controllers/strings
+     * under "<scsi_prefix>.cougarN".
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &array_prefix = "raid",
+                       const std::string &disk_prefix = "disk",
+                       const std::string &scsi_prefix = "scsi") const;
     /** @} */
 
   private:
@@ -184,6 +199,7 @@ class SimArray
     std::uint64_t _fullStripes = 0;
     sim::Distribution _readMs;
     sim::Distribution _writeMs;
+    sim::Distribution _stripeLockWaitMs;
 };
 
 } // namespace raid2::raid

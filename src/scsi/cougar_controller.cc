@@ -32,6 +32,16 @@ CougarController::string(unsigned idx) const
     return const_cast<CougarController *>(this)->string(idx);
 }
 
+void
+CougarController::registerStats(sim::StatsRegistry &reg,
+                                const std::string &prefix) const
+{
+    _svc.registerStats(reg, prefix + ".ctrl");
+    for (unsigned i = 0; i < numStrings; ++i)
+        strings[i]->registerStats(reg,
+                                  prefix + ".string" + std::to_string(i));
+}
+
 unsigned
 CougarController::numDisks() const
 {

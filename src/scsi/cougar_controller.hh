@@ -43,6 +43,10 @@ class CougarController
     /** Total drives attached across both strings. */
     unsigned numDisks() const;
 
+    /** Register controller + per-string stats under @p prefix. */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::string _name;
     sim::Service _svc;

@@ -46,6 +46,13 @@ class ScsiString
     const std::vector<disk::DiskModel *> &disks() const { return _disks; }
     const std::string &name() const { return _name; }
 
+    /** Register the shared bus's stats under "<prefix>.bus". */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const
+    {
+        _bus.registerStats(reg, prefix + ".bus");
+    }
+
   private:
     std::string _name;
     sim::Service _bus;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace raid2::server {
 
@@ -58,6 +59,7 @@ PipelinedReader::pump()
         c.issued = true;
         ++inFlight;
         auto issue = [this, idx] {
+            chunks[idx].issueTick = eq.now();
             array.read(chunks[idx].off, chunks[idx].len,
                        [this, idx] { readDone(idx); });
         };
@@ -73,6 +75,9 @@ void
 PipelinedReader::readDone(std::size_t idx)
 {
     chunks[idx].ready = true;
+    if (auto *t = eq.tracer())
+        t->complete("pipeline", "prefetch", chunks[idx].issueTick,
+                    eq.now(), chunks[idx].len);
     drainInOrder();
 }
 
@@ -84,6 +89,7 @@ PipelinedReader::drainInOrder()
            !chunks[nextSend].sent) {
         const std::size_t idx = nextSend++;
         chunks[idx].sent = true;
+        chunks[idx].sendTick = eq.now();
         if (cfg.outStages.empty()) {
             chunkSent(idx);
             continue;
@@ -102,6 +108,9 @@ PipelinedReader::drainInOrder()
 void
 PipelinedReader::chunkSent(std::size_t idx)
 {
+    if (auto *t = eq.tracer())
+        t->complete("pipeline", "send", chunks[idx].sendTick, eq.now(),
+                    chunks[idx].len);
     if (cfg.buffers)
         cfg.buffers->free(chunks[idx].len);
     --inFlight;

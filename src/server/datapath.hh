@@ -81,6 +81,8 @@ class PipelinedReader
         bool issued = false;
         bool ready = false;  // read complete, waiting to send
         bool sent = false;   // left the out stages
+        sim::Tick issueTick = 0;
+        sim::Tick sendTick = 0;
     };
     std::vector<Chunk> chunks;
     std::size_t nextIssue = 0;

@@ -21,30 +21,41 @@ RaidFileClient::RaidFileClient(sim::EventQueue &eq_, Raid2Server &server_,
 
 void
 RaidFileClient::raidOpen(const std::string &path, bool create,
-                         std::function<void(Handle)> done)
+                         std::function<void(Status, Handle)> done)
 {
     client.chargeRequestCost();
     eq.scheduleIn(cfg.commandRtt, [this, path, create,
                                    done = std::move(done)] {
         lfs::InodeNum ino;
-        if (create && !server.fs().exists(path))
-            ino = server.fs().create(path);
-        else
+        if (server.fs().exists(path)) {
             ino = server.fs().lookup(path);
+        } else if (create) {
+            ino = server.fs().create(path);
+        } else {
+            if (done)
+                done(Status::NotFound, invalidHandle);
+            return;
+        }
         const Handle h = nextHandle++;
         open[h] = OpenFile{ino, 0};
         if (done)
-            done(h);
+            done(Status::Ok, h);
     });
 }
 
 void
 RaidFileClient::raidRead(Handle h, std::uint64_t len,
-                         std::function<void(std::uint64_t)> done)
+                         std::function<void(Status, std::uint64_t)> done)
 {
+    client.chargeRequestCost();
     auto it = open.find(h);
-    if (it == open.end())
-        sim::fatal("raidRead on closed handle %u", h);
+    if (it == open.end()) {
+        eq.scheduleIn(cfg.commandRtt, [done = std::move(done)] {
+            if (done)
+                done(Status::BadHandle, 0);
+        });
+        return;
+    }
     OpenFile &f = it->second;
     const std::uint64_t off = f.pos;
     const std::uint64_t size = server.fs().statIno(f.ino).size;
@@ -52,11 +63,10 @@ RaidFileClient::raidRead(Handle h, std::uint64_t len,
         off >= size ? 0 : std::min<std::uint64_t>(len, size - off);
     f.pos += n;
 
-    client.chargeRequestCost();
     if (n == 0) {
         eq.scheduleIn(cfg.commandRtt, [done = std::move(done)] {
             if (done)
-                done(0);
+                done(Status::Ok, 0);
         });
         return;
     }
@@ -76,7 +86,7 @@ RaidFileClient::raidRead(Handle h, std::uint64_t len,
         server.fileRead(ino, off, n,
                         [n, done = std::move(done)] {
                             if (done)
-                                done(n);
+                                done(Status::Ok, n);
                         },
                         out, cal::hippiSetupOverhead);
     });
@@ -84,16 +94,21 @@ RaidFileClient::raidRead(Handle h, std::uint64_t len,
 
 void
 RaidFileClient::raidWrite(Handle h, std::uint64_t len,
-                          std::function<void(std::uint64_t)> done)
+                          std::function<void(Status, std::uint64_t)> done)
 {
+    client.chargeRequestCost();
     auto it = open.find(h);
-    if (it == open.end())
-        sim::fatal("raidWrite on closed handle %u", h);
+    if (it == open.end()) {
+        eq.scheduleIn(cfg.commandRtt, [done = std::move(done)] {
+            if (done)
+                done(Status::BadHandle, 0);
+        });
+        return;
+    }
     OpenFile &f = it->second;
     const std::uint64_t off = f.pos;
     f.pos += len;
 
-    client.chargeRequestCost();
     eq.scheduleIn(cfg.commandRtt, [this, ino = f.ino, off, len,
                                    done = std::move(done)] {
         // Client NIC -> Ultranet -> HIPPI destination -> XBUS memory,
@@ -107,7 +122,7 @@ RaidFileClient::raidWrite(Handle h, std::uint64_t len,
                 server.fileWrite(ino, off, len,
                                  [len, done = std::move(done)] {
                                      if (done)
-                                         done(len);
+                                         done(Status::Ok, len);
                                  });
             });
     });

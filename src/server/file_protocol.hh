@@ -32,6 +32,13 @@ class RaidFileClient
     using Handle = std::uint32_t;
     static constexpr Handle invalidHandle = 0;
 
+    /** Result delivered with every completion. */
+    enum class Status {
+        Ok,
+        NotFound,   // raidOpen of a missing path without create
+        BadHandle,  // operation on a closed or never-opened handle
+    };
+
     struct Config
     {
         /** Round-trip command latency for open/close and per-request
@@ -48,17 +55,23 @@ class RaidFileClient
     RaidFileClient(sim::EventQueue &eq, Raid2Server &server,
                    net::ClientModel &client, net::UltranetFabric &net);
 
-    /** Open (or create) a file; completes with a positional handle. */
+    /**
+     * Open (or create) a file; completes with (Status, handle).  On
+     * Status::NotFound the handle is invalidHandle.
+     */
     void raidOpen(const std::string &path, bool create,
-                  std::function<void(Handle)> done);
+                  std::function<void(Status, Handle)> done);
 
-    /** Read @p len bytes at the handle's position; advances it. */
+    /** Read @p len bytes at the handle's position; advances it.
+     *  Completes with (Status, bytes read); reading at EOF is
+     *  (Status::Ok, 0). */
     void raidRead(Handle h, std::uint64_t len,
-                  std::function<void(std::uint64_t)> done);
+                  std::function<void(Status, std::uint64_t)> done);
 
-    /** Write @p len bytes at the handle's position; advances it. */
+    /** Write @p len bytes at the handle's position; advances it.
+     *  Completes with (Status, bytes written). */
     void raidWrite(Handle h, std::uint64_t len,
-                   std::function<void(std::uint64_t)> done);
+                   std::function<void(Status, std::uint64_t)> done);
 
     void raidSeek(Handle h, std::uint64_t pos);
     void raidClose(Handle h);

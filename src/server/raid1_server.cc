@@ -1,8 +1,10 @@
 #include "server/raid1_server.hh"
 
 #include <memory>
+#include <string>
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::server {
 
@@ -88,6 +90,17 @@ Raid1Server::write(std::uint64_t off, std::uint64_t len,
     for (const auto &e : extents)
         channels[e.disk]->write(e.diskOffset, e.bytes, hostStages(),
                                 finish);
+}
+
+void
+Raid1Server::registerStats(sim::StatsRegistry &reg) const
+{
+    _host->registerStats(reg, "host");
+    for (std::size_t c = 0; c < cougars.size(); ++c)
+        cougars[c]->registerStats(reg,
+                                  "scsi.cougar" + std::to_string(c));
+    for (std::size_t d = 0; d < disks.size(); ++d)
+        disks[d]->registerStats(reg, "disk." + std::to_string(d));
 }
 
 void

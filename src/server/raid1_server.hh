@@ -64,6 +64,10 @@ class Raid1Server
     }
     disk::DiskModel &disk(unsigned d) { return *disks.at(d); }
 
+    /** Register host, controller and per-disk stats: "host.*",
+     *  "scsi.cougarN.*", "disk.N.*". */
+    void registerStats(sim::StatsRegistry &reg) const;
+
   private:
     std::vector<sim::Stage> hostStages();
 

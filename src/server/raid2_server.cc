@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+#include "sim/trace_sink.hh"
 
 namespace raid2::server {
 
@@ -35,9 +37,10 @@ Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
             cfg.fsParams.blockSize,
             cfg.fsDeviceBytes / cfg.fsParams.blockSize);
         hookDev = std::make_unique<fs::HookBlockDevice>(*fsDev);
-        hookDev->setWriteHook(
-            [this](std::uint64_t off, std::uint64_t len, bool) {
-                noteDeviceWrite(off, len);
+        hookDev->setHook(
+            [this](std::uint64_t off, std::uint64_t len, bool is_write) {
+                if (is_write)
+                    noteDeviceWrite(off, len);
             });
         lfs::Lfs::format(*hookDev, cfg.fsParams);
         _fs = std::make_unique<lfs::Lfs>(*hookDev);
@@ -133,7 +136,12 @@ Raid2Server::drainPendingWrites(std::function<void()> all_done)
         ++flushesInFlight;
         ++_segmentFlushes;
         _flushedBytes += len;
-        _array->write(off, len, [this, remaining, done_ptr] {
+        const sim::Tick issued = eq.now();
+        _array->write(off, len,
+                      [this, len = len, issued, remaining, done_ptr] {
+            if (auto *t = eq.tracer())
+                t->complete(_name, "segment_flush", issued, eq.now(),
+                            len);
             flushCompleted();
             if (--*remaining == 0 && *done_ptr)
                 (*done_ptr)();
@@ -150,6 +158,46 @@ Raid2Server::flushCompleted()
         auto waiter = std::move(flushWaiters.front());
         flushWaiters.pop_front();
         waiter();
+    }
+}
+
+void
+Raid2Server::registerStats(sim::StatsRegistry &reg) const
+{
+    _board->registerStats(reg, "xbus");
+    _array->registerStats(reg, "raid", "disk", "scsi");
+    _host->registerStats(reg, "host");
+    _ethernet->registerStats(reg, "ether");
+    fsCpu->registerStats(reg, "server.fs_cpu");
+    reg.addGauge("server.segment_flushes", [this] {
+        return static_cast<double>(_segmentFlushes);
+    });
+    reg.addGauge("server.flushed_bytes", [this] {
+        return static_cast<double>(_flushedBytes);
+    });
+    if (_fs) {
+        const lfs::Lfs *fsp = _fs.get();
+        reg.addGauge("lfs.segments_written", [fsp] {
+            return static_cast<double>(fsp->stats().segmentsWritten);
+        });
+        reg.addGauge("lfs.cleaner.segments_cleaned", [fsp] {
+            return static_cast<double>(
+                fsp->stats().cleanerSegmentsCleaned);
+        });
+        reg.addGauge("lfs.cleaner.blocks_copied", [fsp] {
+            return static_cast<double>(fsp->stats().cleanerBlocksCopied);
+        });
+        reg.addGauge("lfs.checkpoints", [fsp] {
+            return static_cast<double>(fsp->stats().checkpoints);
+        });
+        reg.addGauge("lfs.roll_forward_segments", [fsp] {
+            return static_cast<double>(
+                fsp->stats().rollForwardSegments);
+        });
+        reg.addGauge("lfs.free_segments", [fsp] {
+            return static_cast<double>(fsp->freeSegments());
+        });
+        hookDev->registerStats(reg, "lfs.device");
     }
 }
 

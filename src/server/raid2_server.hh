@@ -163,6 +163,13 @@ class Raid2Server
     /** @{ Statistics. */
     std::uint64_t segmentFlushes() const { return _segmentFlushes; }
     std::uint64_t flushedBytes() const { return _flushedBytes; }
+
+    /**
+     * Register the whole server's stats tree: "xbus.*", "disk.*",
+     * "scsi.*", "raid.*", "host.*", "ether.*", "lfs.*" (when a file
+     * system is mounted) and "server.*".
+     */
+    void registerStats(sim::StatsRegistry &reg) const;
     /** @} */
 
   private:

@@ -21,6 +21,8 @@
 
 namespace raid2::sim {
 
+class TraceSink;
+
 /**
  * Deterministic single-threaded event queue.
  *
@@ -84,6 +86,12 @@ class EventQueue
      */
     bool runUntilDone(const std::function<bool()> &done);
 
+    /** @{ Optional span tracer.  Components test for null before
+     *  recording, so an untraced run costs one pointer check. */
+    TraceSink *tracer() const { return _tracer; }
+    void setTracer(TraceSink *t) { _tracer = t; }
+    /** @} */
+
   private:
     /** Key orders by (tick, sequence) for deterministic ties. */
     using Key = std::pair<Tick, EventId>;
@@ -92,6 +100,7 @@ class EventQueue
     Tick _now = 0;
     EventId nextId = 1;
     std::uint64_t numExecuted = 0;
+    TraceSink *_tracer = nullptr;
 
     /** Pop and execute the earliest event. */
     void step();

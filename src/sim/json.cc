@@ -1,0 +1,171 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace raid2::sim {
+
+JsonWriter::JsonWriter(std::ostream &os_, bool pretty_)
+    : os(os_), pretty(pretty_)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty)
+        return;
+    os << '\n';
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        os << "  ";
+}
+
+void
+JsonWriter::beforeElement()
+{
+    if (pendingKey) {
+        // The key already placed the separator.
+        pendingKey = false;
+        return;
+    }
+    if (levels.empty())
+        return;
+    if (levels.back().hasElements)
+        os << ',';
+    levels.back().hasElements = true;
+    newlineIndent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeElement();
+    os << '{';
+    levels.push_back(Level{true});
+}
+
+void
+JsonWriter::endObject()
+{
+    if (levels.empty() || !levels.back().isObject)
+        panic("JsonWriter: endObject outside an object");
+    const bool had = levels.back().hasElements;
+    levels.pop_back();
+    if (had)
+        newlineIndent();
+    os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeElement();
+    os << '[';
+    levels.push_back(Level{false});
+}
+
+void
+JsonWriter::endArray()
+{
+    if (levels.empty() || levels.back().isObject)
+        panic("JsonWriter: endArray outside an array");
+    const bool had = levels.back().hasElements;
+    levels.pop_back();
+    if (had)
+        newlineIndent();
+    os << ']';
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    if (levels.empty() || !levels.back().isObject)
+        panic("JsonWriter: key outside an object");
+    if (levels.back().hasElements)
+        os << ',';
+    levels.back().hasElements = true;
+    newlineIndent();
+    os << escape(k) << (pretty ? ": " : ":");
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeElement();
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeElement();
+    os << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeElement();
+    os << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeElement();
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeElement();
+    os << escape(v);
+}
+
+void
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeElement();
+    os << json;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace raid2::sim

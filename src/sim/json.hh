@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The observability layer (StatsRegistry snapshots, TraceSink exports,
+ * bench Reporter files) emits JSON; this writer handles the mechanical
+ * parts — comma placement, indentation, string escaping, number
+ * formatting — without pulling in an external dependency.  It is a
+ * forward-only emitter: callers drive the document structure with
+ * beginObject()/beginArray() pairs and the writer keeps a small state
+ * stack to know where separators go.
+ */
+
+#ifndef RAID2_SIM_JSON_HH
+#define RAID2_SIM_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raid2::sim {
+
+/** Forward-only JSON emitter with optional pretty-printing. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    /** @{ Containers. */
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** @} */
+
+    /** Emit an object key; must be followed by a value or container. */
+    void key(std::string_view k);
+
+    /** @{ Values. */
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    /** @} */
+
+    /** Splice @p json in verbatim as one value (must be valid JSON;
+     *  used to embed a pre-serialized snapshot). */
+    void rawValue(std::string_view json);
+
+    /** @{ key() + value() in one call. */
+    template <typename T>
+    void
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+    /** @} */
+
+    /** Escape @p s as a JSON string literal (with quotes). */
+    static std::string escape(std::string_view s);
+
+  private:
+    /** Comma/indent bookkeeping before an element at the current level. */
+    void beforeElement();
+    void newlineIndent();
+
+    struct Level
+    {
+        bool isObject;
+        bool hasElements = false;
+    };
+
+    std::ostream &os;
+    bool pretty;
+    std::vector<Level> levels;
+    bool pendingKey = false;
+};
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_JSON_HH

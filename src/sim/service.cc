@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::sim {
 
@@ -64,6 +65,17 @@ Service::submitBusyTime(Tick service_ticks, std::function<void()> done)
 
     if (done)
         eq.schedule(finish, std::move(done));
+}
+
+void
+Service::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".bytes",
+                 [this] { return static_cast<double>(_bytesServed); });
+    reg.addGauge(prefix + ".requests",
+                 [this] { return static_cast<double>(_requests); });
+    reg.add(prefix + ".busy", busy);
+    reg.add(prefix + ".queue_delay_ms", _queueDelay);
 }
 
 void

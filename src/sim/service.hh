@@ -28,6 +28,8 @@
 
 namespace raid2::sim {
 
+class StatsRegistry;
+
 /**
  * A FIFO service station with byte rate, fixed per-request overhead
  * and configurable concurrency.
@@ -89,6 +91,9 @@ class Service
     double utilization(Tick elapsed) const { return busy.fraction(elapsed); }
     const Distribution &queueDelay() const { return _queueDelay; }
     void resetStats();
+    /** Register this station's stats under @p prefix ("<prefix>.bytes",
+     *  ".requests", ".busy", ".queue_delay_ms"). */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
     /** @} */
 
   private:

@@ -92,6 +92,11 @@ Histogram::quantile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     std::uint64_t target =
         static_cast<std::uint64_t>(q * static_cast<double>(n));
+    // q = 1.0 must land on the last sample, not one past it (which
+    // would fall through to the histogram's upper edge regardless of
+    // which buckets are occupied).
+    if (target >= n)
+        target = n - 1;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         seen += counts[i];

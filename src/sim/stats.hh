@@ -22,6 +22,8 @@
 
 namespace raid2::sim {
 
+class StatsRegistry; // stats_registry.hh
+
 /** Monotonic counter. */
 class Scalar
 {

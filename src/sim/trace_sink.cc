@@ -1,0 +1,169 @@
+#include "sim/trace_sink.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <queue>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace raid2::sim {
+
+TraceSink::TraceSink(EventQueue &eq_) : eq(eq_)
+{
+}
+
+TraceSink::SpanId
+TraceSink::begin(std::string_view component, std::string_view name,
+                 std::uint64_t bytes)
+{
+    Span s;
+    s.id = nextId++;
+    s.component = std::string(component);
+    s.name = std::string(name);
+    s.begin = eq.now();
+    s.bytes = bytes;
+    _spans.push_back(std::move(s));
+    ++_open;
+    return _spans.back().id;
+}
+
+void
+TraceSink::end(SpanId id)
+{
+    // Spans close in roughly LIFO/FIFO order near the tail; a reverse
+    // scan finds the target quickly without an index structure.
+    for (auto it = _spans.rbegin(); it != _spans.rend(); ++it) {
+        if (it->id != id)
+            continue;
+        if (it->closed)
+            panic("TraceSink: span %llu closed twice",
+                  (unsigned long long)id);
+        it->end = eq.now();
+        it->closed = true;
+        --_open;
+        return;
+    }
+    panic("TraceSink: end of unknown span %llu", (unsigned long long)id);
+}
+
+void
+TraceSink::complete(std::string_view component, std::string_view name,
+                    Tick begin_tick, Tick end_tick, std::uint64_t bytes)
+{
+    Span s;
+    s.id = nextId++;
+    s.component = std::string(component);
+    s.name = std::string(name);
+    s.begin = begin_tick;
+    s.end = end_tick;
+    s.bytes = bytes;
+    s.closed = true;
+    _spans.push_back(std::move(s));
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Group spans per component; assign overlapping spans of one
+    // component to separate lanes (greedy first-free) so concurrent
+    // operations render as stacked tracks instead of hiding each
+    // other.  Lane -> Chrome tid.
+    struct Placed
+    {
+        const Span *span;
+        unsigned tid;
+    };
+    std::vector<Placed> placed;
+    std::map<std::string, std::vector<const Span *>> byComponent;
+    for (const Span &s : _spans) {
+        if (!s.closed)
+            continue;
+        byComponent[s.component].push_back(&s);
+    }
+
+    unsigned nextTid = 1;
+    std::vector<std::pair<std::string, unsigned>> trackNames;
+    for (auto &[component, list] : byComponent) {
+        std::stable_sort(list.begin(), list.end(),
+                         [](const Span *a, const Span *b) {
+                             return a->begin < b->begin;
+                         });
+        std::vector<Tick> laneEnd; // lane -> busy-until
+        std::vector<unsigned> laneTid;
+        for (const Span *s : list) {
+            std::size_t lane = laneEnd.size();
+            for (std::size_t i = 0; i < laneEnd.size(); ++i) {
+                if (laneEnd[i] <= s->begin) {
+                    lane = i;
+                    break;
+                }
+            }
+            if (lane == laneEnd.size()) {
+                laneEnd.push_back(0);
+                laneTid.push_back(nextTid++);
+                trackNames.emplace_back(
+                    lane == 0 ? component
+                              : component + " #" + std::to_string(lane),
+                    laneTid.back());
+            }
+            laneEnd[lane] = s->end;
+            placed.push_back(Placed{s, laneTid[lane]});
+        }
+    }
+
+    JsonWriter jw(os, /*pretty=*/false);
+    jw.beginObject();
+    jw.key("traceEvents");
+    jw.beginArray();
+    // Thread-name metadata so Perfetto labels each track.
+    for (const auto &[label, tid] : trackNames) {
+        jw.beginObject();
+        jw.kv("name", "thread_name");
+        jw.kv("ph", "M");
+        jw.kv("pid", 1);
+        jw.kv("tid", tid);
+        jw.key("args");
+        jw.beginObject();
+        jw.kv("name", label);
+        jw.endObject();
+        jw.endObject();
+    }
+    for (const Placed &p : placed) {
+        const Span &s = *p.span;
+        jw.beginObject();
+        jw.kv("name", s.name);
+        jw.kv("cat", s.component);
+        jw.kv("ph", "X");
+        // trace_event timestamps are microseconds; ticks are ns.
+        jw.kv("ts", static_cast<double>(s.begin) / 1000.0);
+        jw.kv("dur", static_cast<double>(s.end - s.begin) / 1000.0);
+        jw.kv("pid", 1);
+        jw.kv("tid", p.tid);
+        jw.key("args");
+        jw.beginObject();
+        jw.kv("id", s.id);
+        if (s.bytes)
+            jw.kv("bytes", s.bytes);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.kv("displayTimeUnit", "ms");
+    jw.endObject();
+    os << "\n";
+}
+
+bool
+TraceSink::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeChromeTrace(f);
+    return f.good();
+}
+
+} // namespace raid2::sim

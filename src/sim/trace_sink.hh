@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Timestamped span recording with Chrome trace_event export.
+ *
+ * Components record spans — (op id, component, begin/end tick, bytes)
+ * — through the TraceSink attached to their EventQueue; a bench run
+ * with tracing enabled then writes the spans as Chrome trace_event
+ * JSON, loadable in chrome://tracing or Perfetto.  Overlapping spans
+ * of one component (e.g. the prefetch pipeline's concurrent array
+ * reads) are spread across lanes at export time so the overlap is
+ * visible as stacked tracks.
+ *
+ * Tracing is opt-in per run: when no sink is attached the only cost in
+ * the datapath is a null-pointer check (see EventQueue::tracer()).
+ */
+
+#ifndef RAID2_SIM_TRACE_SINK_HH
+#define RAID2_SIM_TRACE_SINK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace raid2::sim {
+
+class EventQueue;
+
+/** Span recorder; one per traced simulation run. */
+class TraceSink
+{
+  public:
+    using SpanId = std::uint64_t;
+    static constexpr SpanId invalidSpan = 0;
+
+    /** One recorded span. */
+    struct Span
+    {
+        SpanId id;
+        std::string component; // trace track ("pipeline", "disk.3", ...)
+        std::string name;      // operation label ("prefetch", "read", ...)
+        Tick begin = 0;
+        Tick end = 0;
+        std::uint64_t bytes = 0;
+        bool closed = false;
+    };
+
+    explicit TraceSink(EventQueue &eq);
+
+    /** Open a span at the current simulated time. */
+    SpanId begin(std::string_view component, std::string_view name,
+                 std::uint64_t bytes = 0);
+
+    /** Close span @p id at the current simulated time. */
+    void end(SpanId id);
+
+    /** Record an already-timed span in one call. */
+    void complete(std::string_view component, std::string_view name,
+                  Tick begin_tick, Tick end_tick,
+                  std::uint64_t bytes = 0);
+
+    /** @{ Introspection (tests, reporters). */
+    std::size_t spanCount() const { return _spans.size(); }
+    const std::vector<Span> &spans() const { return _spans; }
+    std::size_t openSpans() const { return _open; }
+    /** @} */
+
+    /** Write all closed spans as Chrome trace_event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Convenience: write to @p path; returns false on I/O failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    EventQueue &eq;
+    std::vector<Span> _spans;
+    SpanId nextId = 1;
+    std::size_t _open = 0;
+};
+
+} // namespace raid2::sim
+
+#endif // RAID2_SIM_TRACE_SINK_HH

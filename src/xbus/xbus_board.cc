@@ -1,6 +1,7 @@
 #include "xbus/xbus_board.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::xbus {
 
@@ -35,6 +36,32 @@ XbusBoard::vmePort(unsigned idx)
         sim::panic("XbusBoard %s: bad VME port index %u", _name.c_str(),
                    idx);
     return *_vmePorts[idx];
+}
+
+void
+XbusBoard::registerStats(sim::StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    _memory.registerStats(reg, prefix + ".memory");
+    _hippiSrc.registerStats(reg, prefix + ".port.hippi_src");
+    _hippiDst.registerStats(reg, prefix + ".port.hippi_dst");
+    for (unsigned i = 0; i < numVmePorts; ++i)
+        _vmePorts[i]->registerStats(
+            reg, prefix + ".port.vme" + std::to_string(i));
+    _parityPort.registerStats(reg, prefix + ".port.parity");
+    _hostLink.registerStats(reg, prefix + ".host_link");
+    reg.addGauge(prefix + ".parity.passes", [this] {
+        return static_cast<double>(_parity->passes());
+    });
+    reg.addGauge(prefix + ".parity.bytes", [this] {
+        return static_cast<double>(_parity->bytesProcessed());
+    });
+    reg.addGauge(prefix + ".dram.peak_use", [this] {
+        return static_cast<double>(_buffers.peakUse());
+    });
+    reg.addGauge(prefix + ".dram.capacity", [this] {
+        return static_cast<double>(_buffers.capacity());
+    });
 }
 
 std::vector<sim::Stage>

@@ -61,6 +61,11 @@ class XbusBoard
     std::vector<sim::Stage> memoryToDisk(unsigned vme_idx);
     /** @} */
 
+    /** Register every port, the parity engine and the buffer pool
+     *  under @p prefix ("<prefix>.port.hippi_src.bytes", ...). */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::string _name;
     sim::Service _memory;

@@ -37,8 +37,8 @@ TEST(MemBlockDevice, ReadsBackWrites)
     std::vector<std::uint8_t> out(4096);
     dev.readBlock(7, {out.data(), out.size()});
     EXPECT_EQ(out, a);
-    EXPECT_EQ(dev.readCount(), 1u);
-    EXPECT_EQ(dev.writeCount(), 1u);
+    EXPECT_EQ(dev.readsStat().value(), 1u);
+    EXPECT_EQ(dev.writesStat().value(), 1u);
     EXPECT_EQ(dev.capacityBytes(), 64u * 4096);
 }
 
@@ -98,12 +98,14 @@ TEST(HookBlockDevice, ObservesTraffic)
     fs::MemBlockDevice mem(4096, 16);
     fs::HookBlockDevice dev(mem);
     std::uint64_t reads = 0, writes = 0, write_bytes = 0;
-    dev.setReadHook([&](std::uint64_t, std::uint64_t, bool) { ++reads; });
-    dev.setWriteHook([&](std::uint64_t off, std::uint64_t len, bool w) {
+    dev.setHook([&](std::uint64_t off, std::uint64_t len, bool w) {
+        EXPECT_EQ(off % 4096, 0u);
+        if (!w) {
+            ++reads;
+            return;
+        }
         ++writes;
         write_bytes += len;
-        EXPECT_TRUE(w);
-        EXPECT_EQ(off % 4096, 0u);
     });
     const auto a = block(9);
     std::vector<std::uint8_t> out(4096);

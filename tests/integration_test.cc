@@ -210,19 +210,28 @@ TEST(Integration, ConcurrentClientsShareTheServer)
     int finished = 0;
     auto drive = [&](server::RaidFileClient &lib) {
         lib.raidOpen("/shared", false,
-                     [&, plib = &lib](server::RaidFileClient::Handle h) {
+                     [&, plib = &lib](server::RaidFileClient::Status st,
+                                      server::RaidFileClient::Handle h) {
+                         ASSERT_EQ(st,
+                                   server::RaidFileClient::Status::Ok);
                          auto next =
                              std::make_shared<std::function<void()>>();
                          *next = [&finished, plib, h, next]() {
-                             plib->raidRead(h, sim::MB,
-                                            [&finished, next](
-                                                std::uint64_t n) {
-                                                if (n == 0) {
-                                                    ++finished;
-                                                    return;
-                                                }
-                                                (*next)();
-                                            });
+                             plib->raidRead(
+                                 h, sim::MB,
+                                 [&finished, next](
+                                     server::RaidFileClient::Status rst,
+                                     std::uint64_t n) {
+                                     EXPECT_EQ(
+                                         rst,
+                                         server::RaidFileClient::Status::
+                                             Ok);
+                                     if (n == 0) {
+                                         ++finished;
+                                         return;
+                                     }
+                                     (*next)();
+                                 });
                          };
                          (*next)();
                      });

@@ -299,15 +299,21 @@ TEST(FileProtocol, OpenReadWriteRoundTrip)
     net::ClientModel client(eq, "c");
     server::RaidFileClient lib(eq, srv, client, ring);
 
+    using Status = server::RaidFileClient::Status;
     server::RaidFileClient::Handle h = 0;
     std::uint64_t wrote = 0, read = 0;
     bool finished = false;
-    lib.raidOpen("/data", true, [&](server::RaidFileClient::Handle hh) {
+    lib.raidOpen("/data", true,
+                 [&](Status st, server::RaidFileClient::Handle hh) {
+        ASSERT_EQ(st, Status::Ok);
         h = hh;
-        lib.raidWrite(h, 256 * 1024, [&](std::uint64_t n) {
+        lib.raidWrite(h, 256 * 1024, [&](Status wst, std::uint64_t n) {
+            EXPECT_EQ(wst, Status::Ok);
             wrote = n;
             lib.raidSeek(h, 0);
-            lib.raidRead(h, 256 * 1024, [&](std::uint64_t m) {
+            lib.raidRead(h, 256 * 1024, [&](Status rst,
+                                            std::uint64_t m) {
+                EXPECT_EQ(rst, Status::Ok);
                 read = m;
                 finished = true;
             });
@@ -333,12 +339,19 @@ TEST(FileProtocol, ReadPastEofReturnsShort)
     std::vector<std::uint8_t> d(100, 1);
     srv.fs().write(ino, 0, {d.data(), d.size()});
 
+    using Status = server::RaidFileClient::Status;
     std::uint64_t got = 1234;
     bool finished = false;
-    lib.raidOpen("/tiny", false, [&](server::RaidFileClient::Handle h) {
-        lib.raidRead(h, 4096, [&, h](std::uint64_t n) {
+    lib.raidOpen("/tiny", false,
+                 [&](Status st, server::RaidFileClient::Handle h) {
+        ASSERT_EQ(st, Status::Ok);
+        lib.raidRead(h, 4096, [&, h](Status rst, std::uint64_t n) {
+            EXPECT_EQ(rst, Status::Ok);
             got = n;
-            lib.raidRead(h, 4096, [&](std::uint64_t n2) {
+            lib.raidRead(h, 4096, [&](Status rst2, std::uint64_t n2) {
+                // Reading at EOF is a success with zero bytes, not an
+                // error.
+                EXPECT_EQ(rst2, Status::Ok);
                 EXPECT_EQ(n2, 0u);
                 finished = true;
             });
@@ -346,6 +359,56 @@ TEST(FileProtocol, ReadPastEofReturnsShort)
     });
     eq.runUntilDone([&] { return finished; });
     EXPECT_EQ(got, 100u);
+}
+
+TEST(FileProtocol, OpenMissingFileReportsNotFound)
+{
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig(true));
+    net::UltranetFabric ring(eq, "u");
+    net::ClientModel client(eq, "c");
+    server::RaidFileClient lib(eq, srv, client, ring);
+
+    using Status = server::RaidFileClient::Status;
+    bool finished = false;
+    lib.raidOpen("/no/such/file", false,
+                 [&](Status st, server::RaidFileClient::Handle h) {
+                     EXPECT_EQ(st, Status::NotFound);
+                     EXPECT_EQ(h, server::RaidFileClient::invalidHandle);
+                     finished = true;
+                 });
+    eq.runUntilDone([&] { return finished; });
+    EXPECT_TRUE(finished);
+}
+
+TEST(FileProtocol, ClosedHandleReportsBadHandle)
+{
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig(true));
+    net::UltranetFabric ring(eq, "u");
+    net::ClientModel client(eq, "c");
+    server::RaidFileClient lib(eq, srv, client, ring);
+
+    using Status = server::RaidFileClient::Status;
+    srv.createFile("/f");
+    int finished = 0;
+    lib.raidOpen("/f", false,
+                 [&](Status st, server::RaidFileClient::Handle h) {
+        ASSERT_EQ(st, Status::Ok);
+        lib.raidClose(h);
+        lib.raidRead(h, 4096, [&](Status rst, std::uint64_t n) {
+            EXPECT_EQ(rst, Status::BadHandle);
+            EXPECT_EQ(n, 0u);
+            ++finished;
+        });
+        lib.raidWrite(h, 4096, [&](Status wst, std::uint64_t n) {
+            EXPECT_EQ(wst, Status::BadHandle);
+            EXPECT_EQ(n, 0u);
+            ++finished;
+        });
+    });
+    eq.runUntilDone([&] { return finished == 2; });
+    EXPECT_EQ(finished, 2);
 }
 
 } // namespace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * StatsRegistry: registration, hierarchical dump, JSON snapshot, and
+ * Histogram::quantile edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+
+using namespace raid2;
+
+namespace {
+
+// -----------------------------------------------------------------
+// A tiny recursive-descent JSON reader, just enough to round-trip the
+// registry snapshots produced by StatsRegistry::toJson().
+// -----------------------------------------------------------------
+
+struct MiniJson
+{
+    // Path ("a.b.c") -> scalar leaf rendered as text.
+    std::map<std::string, std::string> leaves;
+
+    static MiniJson
+    parse(const std::string &text)
+    {
+        MiniJson out;
+        std::size_t pos = 0;
+        out.value(text, pos, "");
+        skipWs(text, pos);
+        EXPECT_EQ(pos, text.size()) << "trailing junk after document";
+        return out;
+    }
+
+  private:
+    static void
+    skipWs(const std::string &s, std::size_t &pos)
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    static std::string
+    parseString(const std::string &s, std::size_t &pos)
+    {
+        EXPECT_EQ(s.at(pos), '"');
+        ++pos;
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\')
+                ++pos;
+            out += s.at(pos++);
+        }
+        EXPECT_EQ(s.at(pos), '"');
+        ++pos;
+        return out;
+    }
+
+    void
+    value(const std::string &s, std::size_t &pos,
+          const std::string &path)
+    {
+        skipWs(s, pos);
+        ASSERT_LT(pos, s.size());
+        if (s[pos] == '{') {
+            ++pos;
+            skipWs(s, pos);
+            if (s[pos] == '}') {
+                ++pos;
+                return;
+            }
+            while (true) {
+                skipWs(s, pos);
+                const std::string key = parseString(s, pos);
+                skipWs(s, pos);
+                ASSERT_EQ(s.at(pos), ':');
+                ++pos;
+                value(s, pos,
+                      path.empty() ? key : path + "." + key);
+                skipWs(s, pos);
+                if (s.at(pos) == ',') {
+                    ++pos;
+                    continue;
+                }
+                ASSERT_EQ(s.at(pos), '}');
+                ++pos;
+                return;
+            }
+        }
+        if (s[pos] == '[') {
+            ++pos;
+            skipWs(s, pos);
+            if (s[pos] == ']') {
+                ++pos;
+                return;
+            }
+            unsigned i = 0;
+            while (true) {
+                value(s, pos, path + "[" + std::to_string(i++) + "]");
+                skipWs(s, pos);
+                if (s.at(pos) == ',') {
+                    ++pos;
+                    continue;
+                }
+                ASSERT_EQ(s.at(pos), ']');
+                ++pos;
+                return;
+            }
+        }
+        if (s[pos] == '"') {
+            leaves[path] = parseString(s, pos);
+            return;
+        }
+        // Number / true / false / null.
+        std::string tok;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.'))
+            tok += s[pos++];
+        ASSERT_FALSE(tok.empty());
+        leaves[path] = tok;
+    }
+};
+
+TEST(StatsRegistry, RegistersAndReadsBack)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar s;
+    s.inc(42);
+    sim::Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    reg.add("a.count", s);
+    reg.add("a.lat_ms", d);
+    reg.addGauge("b.derived", [] { return 7.5; });
+
+    EXPECT_TRUE(reg.contains("a.count"));
+    EXPECT_TRUE(reg.contains("b.derived"));
+    EXPECT_FALSE(reg.contains("a"));
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(StatsRegistry, RemovePrefixDropsSubtree)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar a, b, c;
+    reg.add("disk.0.reads", a);
+    reg.add("disk.1.reads", b);
+    reg.add("raid.reads", c);
+    reg.removePrefix("disk.");
+    EXPECT_FALSE(reg.contains("disk.0.reads"));
+    EXPECT_FALSE(reg.contains("disk.1.reads"));
+    EXPECT_TRUE(reg.contains("raid.reads"));
+}
+
+TEST(StatsRegistryDeathTest, DuplicateNamePanics)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar a, b;
+    reg.add("x.count", a);
+    EXPECT_DEATH(reg.add("x.count", b), "duplicate");
+}
+
+TEST(StatsRegistryDeathTest, LeafSubtreeConflictPanics)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar a, b;
+    reg.add("x.y", a);
+    // "x.y" is a leaf; "x.y.z" would need it to be an object.
+    EXPECT_DEATH(reg.add("x.y.z", b), "conflicts");
+}
+
+TEST(StatsRegistry, DumpIsSortedAndGroupsSiblings)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar a, b, c;
+    a.inc(1);
+    b.inc(2);
+    c.inc(3);
+    reg.add("zeta.count", a);
+    reg.add("alpha.second", b);
+    reg.add("alpha.first", c);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string text = os.str();
+    const auto p1 = text.find("alpha.first");
+    const auto p2 = text.find("alpha.second");
+    const auto p3 = text.find("zeta.count");
+    ASSERT_NE(p1, std::string::npos);
+    ASSERT_NE(p2, std::string::npos);
+    ASSERT_NE(p3, std::string::npos);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
+}
+
+TEST(StatsRegistry, JsonRoundTripsHierarchy)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar reads;
+    reads.inc(12);
+    sim::Distribution lat;
+    lat.sample(2.0);
+    lat.sample(4.0);
+    sim::Utilization util;
+    util.addBusy(0, 500);
+    reg.add("disk.0.reads", reads);
+    reg.add("disk.0.lat_ms", lat);
+    reg.add("xbus.port.busy", util);
+    reg.addGauge("raid.stripes", [] { return 9.0; });
+    reg.setElapsed([] { return sim::Tick(1000); });
+
+    const MiniJson doc = MiniJson::parse(reg.toJson());
+    EXPECT_EQ(doc.leaves.at("disk.0.reads"), "12");
+    EXPECT_EQ(doc.leaves.at("raid.stripes"), "9");
+    EXPECT_EQ(doc.leaves.at("disk.0.lat_ms.count"), "2");
+    EXPECT_EQ(doc.leaves.at("disk.0.lat_ms.mean"), "3");
+    EXPECT_EQ(doc.leaves.at("disk.0.lat_ms.min"), "2");
+    EXPECT_EQ(doc.leaves.at("disk.0.lat_ms.max"), "4");
+    // busy 500 of elapsed 1000 -> 0.5.
+    EXPECT_EQ(doc.leaves.at("xbus.port.busy.utilization"), "0.5");
+}
+
+TEST(StatsRegistry, CompactAndPrettyJsonAgree)
+{
+    sim::StatsRegistry reg;
+    sim::Scalar s;
+    s.inc(5);
+    reg.add("a.b.c", s);
+    std::ostringstream compact;
+    reg.toJson(compact, /*pretty=*/false);
+    const MiniJson d1 = MiniJson::parse(compact.str());
+    const MiniJson d2 = MiniJson::parse(reg.toJson());
+    EXPECT_EQ(d1.leaves, d2.leaves);
+    // Compact form really is compact.
+    EXPECT_EQ(compact.str().find('\n'), std::string::npos);
+}
+
+TEST(StatsRegistry, GaugeReadsLiveValue)
+{
+    sim::StatsRegistry reg;
+    std::uint64_t counter = 0;
+    reg.addGauge("live", [&] { return double(counter); });
+    counter = 31;
+    const MiniJson doc = MiniJson::parse(reg.toJson());
+    EXPECT_EQ(doc.leaves.at("live"), "31");
+}
+
+// -----------------------------------------------------------------
+// Histogram::quantile edge cases.
+// -----------------------------------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    sim::Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketReturnsItsMidpoint)
+{
+    sim::Histogram h(0.0, 10.0, 10);
+    h.sample(3.2);
+    h.sample(3.9); // both land in [3,4): midpoint 3.5
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(HistogramQuantile, ExtremeQsHitFirstAndLastOccupiedBuckets)
+{
+    sim::Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1.5); // bucket [1,2)
+    for (int i = 0; i < 10; ++i)
+        h.sample(8.5); // bucket [8,9)
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.5);
+    // Out-of-range q clamps rather than reading out of bounds.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 8.5);
+}
+
+TEST(HistogramQuantile, SaturatingEdgeBuckets)
+{
+    sim::Histogram h(0.0, 10.0, 10);
+    h.sample(-5.0);  // below lo -> first bucket
+    h.sample(100.0); // above hi -> last bucket
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * TraceSink: span begin/end nesting, complete(), Chrome trace export
+ * structure and overlap lane assignment, and the EventQueue tracer
+ * hook that makes tracing zero-cost when off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/trace_sink.hh"
+
+using namespace raid2;
+
+namespace {
+
+TEST(TraceSink, BeginEndRecordsTimes)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+
+    sim::TraceSink::SpanId id = sim::TraceSink::invalidSpan;
+    eq.scheduleIn(sim::usToTicks(10),
+                  [&] { id = sink.begin("disk.0", "read", 4096); });
+    eq.scheduleIn(sim::usToTicks(30), [&] { sink.end(id); });
+    eq.run();
+
+    ASSERT_EQ(sink.spanCount(), 1u);
+    const auto &s = sink.spans()[0];
+    EXPECT_TRUE(s.closed);
+    EXPECT_EQ(s.component, "disk.0");
+    EXPECT_EQ(s.name, "read");
+    EXPECT_EQ(s.begin, sim::usToTicks(10));
+    EXPECT_EQ(s.end, sim::usToTicks(30));
+    EXPECT_EQ(s.bytes, 4096u);
+    EXPECT_EQ(sink.openSpans(), 0u);
+}
+
+TEST(TraceSink, NestedSpansCloseIndependently)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+
+    // outer [0, 40), inner [10, 20) — closes out of order vs LIFO too.
+    const auto outer = sink.begin("pipeline", "request");
+    sim::TraceSink::SpanId inner = sim::TraceSink::invalidSpan;
+    eq.scheduleIn(sim::usToTicks(10),
+                  [&] { inner = sink.begin("pipeline", "prefetch"); });
+    eq.scheduleIn(sim::usToTicks(20), [&] { sink.end(inner); });
+    eq.scheduleIn(sim::usToTicks(40), [&] { sink.end(outer); });
+    eq.run();
+
+    ASSERT_EQ(sink.spanCount(), 2u);
+    EXPECT_EQ(sink.openSpans(), 0u);
+    EXPECT_EQ(sink.spans()[0].end, sim::usToTicks(40));
+    EXPECT_EQ(sink.spans()[1].end, sim::usToTicks(20));
+}
+
+TEST(TraceSink, CompleteRecordsClosedSpan)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+    sink.complete("raid", "array_read", sim::usToTicks(5),
+                  sim::usToTicks(25), 65536);
+    ASSERT_EQ(sink.spanCount(), 1u);
+    EXPECT_TRUE(sink.spans()[0].closed);
+    EXPECT_EQ(sink.openSpans(), 0u);
+    EXPECT_EQ(sink.spans()[0].begin, sim::usToTicks(5));
+    EXPECT_EQ(sink.spans()[0].end, sim::usToTicks(25));
+}
+
+TEST(TraceSinkDeathTest, DoubleCloseAndUnknownSpanPanic)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+    const auto id = sink.begin("c", "op");
+    sink.end(id);
+    EXPECT_DEATH(sink.end(id), "closed twice");
+    EXPECT_DEATH(sink.end(9999), "unknown span");
+}
+
+TEST(TraceSink, ChromeExportContainsEventsAndMetadata)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+    sink.complete("disk.0", "read", 0, sim::usToTicks(100), 1024);
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const std::string t = os.str();
+
+    EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(t.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"read\""), std::string::npos);
+    EXPECT_NE(t.find("\"cat\":\"disk.0\""), std::string::npos);
+    // 100 us span starting at 0: ts 0, dur 100 (trace_event uses us).
+    EXPECT_NE(t.find("\"dur\":100"), std::string::npos);
+    EXPECT_NE(t.find("\"bytes\":1024"), std::string::npos);
+}
+
+TEST(TraceSink, OverlappingSpansSpreadAcrossLanes)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+    // Three concurrent prefetches on one component, plus one that fits
+    // back into the first lane after it frees up.
+    sink.complete("pipeline", "prefetch", 0, 100);
+    sink.complete("pipeline", "prefetch", 10, 110);
+    sink.complete("pipeline", "prefetch", 20, 120);
+    sink.complete("pipeline", "prefetch", 150, 200);
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const std::string t = os.str();
+
+    // Three lanes -> three thread_name records.
+    EXPECT_NE(t.find("\"name\":\"pipeline\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"pipeline #1\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"pipeline #2\""), std::string::npos);
+    EXPECT_EQ(t.find("\"name\":\"pipeline #3\""), std::string::npos);
+}
+
+TEST(TraceSink, OpenSpansAreOmittedFromExport)
+{
+    sim::EventQueue eq;
+    sim::TraceSink sink(eq);
+    sink.begin("c", "dangling");
+    sink.complete("c", "finished", 0, 10);
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const std::string t = os.str();
+    EXPECT_EQ(t.find("dangling"), std::string::npos);
+    EXPECT_NE(t.find("finished"), std::string::npos);
+}
+
+TEST(EventQueueTracer, DefaultsToNullAndAttaches)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.tracer(), nullptr);
+    sim::TraceSink sink(eq);
+    eq.setTracer(&sink);
+    EXPECT_EQ(eq.tracer(), &sink);
+    eq.setTracer(nullptr);
+    EXPECT_EQ(eq.tracer(), nullptr);
+}
+
+} // namespace
