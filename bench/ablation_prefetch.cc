@@ -10,6 +10,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "sim/event_queue.hh"
@@ -51,9 +52,15 @@ main()
                        "paper §3.3: pipelining overlaps disk reads with "
                        "network sends");
 
+    const std::vector<unsigned> depths = {1, 2, 3, 4, 6, 8};
+    const auto rows = bench::runSweepParallel(
+        depths.size(), [&](std::size_t i) -> std::vector<double> {
+            return {static_cast<double>(depths[i]), run(depths[i])};
+        });
+
     bench::printSeriesHeader({"depth", "read MB/s"});
-    for (unsigned d : {1u, 2u, 3u, 4u, 6u, 8u})
-        bench::printSeriesRow({static_cast<double>(d), run(d)});
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Expected shape: depth 1 pays disk+network in "
                 "series; throughput grows\n  with depth and flattens "

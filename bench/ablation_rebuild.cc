@@ -10,6 +10,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "raid/reconstruct.hh"
@@ -64,30 +65,36 @@ main()
                         "MB/s", "slower: survivor fan-out");
     }
 
-    // Rebuild time vs window (concurrent stripes in flight).
+    // Rebuild time vs window (concurrent stripes in flight); one
+    // independent simulation per window, swept across the pool.
+    const std::vector<unsigned> windows = {1, 2, 4, 8, 16};
+    const auto rows = bench::runSweepParallel(
+        windows.size(), [&](std::size_t i) -> std::vector<double> {
+            const unsigned window = windows[i];
+            sim::EventQueue eq;
+            auto cfg = bench::lfsConfig();
+            cfg.withFs = false;
+            server::Raid2Server srv(eq, "srv", cfg);
+            srv.array().failDisk(3);
+            raid::RebuildJob job(eq, srv.array(), 3, window);
+            const sim::Tick t0 = eq.now();
+            bool done = false;
+            job.start([&] { done = true; });
+            eq.runUntilDone([&] { return done; });
+            const double minutes =
+                sim::ticksToMs(eq.now() - t0) / 60000.0;
+            const double mbs = sim::mbPerSec(
+                job.stripesTotal() *
+                    srv.array().layout().unitBytes() *
+                    srv.array().numDisks(),
+                eq.now() - t0);
+            return {static_cast<double>(window), minutes, mbs};
+        });
+
     std::printf("\n");
     bench::printSeriesHeader({"window", "rebuild min", "MB/s rebuilt"});
-    for (unsigned window : {1u, 2u, 4u, 8u, 16u}) {
-        sim::EventQueue eq;
-        auto cfg = bench::lfsConfig();
-        cfg.withFs = false;
-        server::Raid2Server srv(eq, "srv", cfg);
-        srv.array().failDisk(3);
-        raid::RebuildJob job(eq, srv.array(), 3, window);
-        const sim::Tick t0 = eq.now();
-        bool done = false;
-        job.start([&] { done = true; });
-        eq.runUntilDone([&] { return done; });
-        const double minutes =
-            sim::ticksToMs(eq.now() - t0) / 60000.0;
-        const double mbs = sim::mbPerSec(
-            job.stripesTotal() *
-                srv.array().layout().unitBytes() *
-                srv.array().numDisks(),
-            eq.now() - t0);
-        bench::printSeriesRow({static_cast<double>(window), minutes,
-                               mbs});
-    }
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Expected shape: degraded reads lose ~30-40%%; "
                 "rebuild time drops\n  steeply from window 1 and "

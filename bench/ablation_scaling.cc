@@ -85,12 +85,17 @@ main()
                        "paper §2.1.2: scales until the host CPU "
                        "saturates");
 
+    const std::vector<unsigned> boards = {1, 2, 4, 6, 8, 10, 12, 14};
+    const auto rows = bench::runSweepParallel(
+        boards.size(), [&](std::size_t i) -> std::vector<double> {
+            const auto pt = run(boards[i]);
+            return {static_cast<double>(boards[i]), pt.total_mbs,
+                    100.0 * pt.host_util};
+        });
+
     bench::printSeriesHeader({"boards", "MB/s", "host util %"});
-    for (unsigned b : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
-        const auto pt = run(b);
-        bench::printSeriesRow({static_cast<double>(b), pt.total_mbs,
-                               100.0 * pt.host_util});
-    }
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Expected shape: near-linear growth while host CPU "
                 "utilization is low,\n  flattening as it approaches "

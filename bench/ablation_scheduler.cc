@@ -9,6 +9,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "sim/event_queue.hh"
@@ -51,14 +52,20 @@ main()
                        "the prototype queued FCFS; reordering pays "
                        "only with deep queues");
 
+    const std::vector<unsigned> clients = {1, 8, 32, 64, 128, 256};
+    const auto rows = bench::runSweepParallel(
+        clients.size(), [&](std::size_t i) -> std::vector<double> {
+            const unsigned procs = clients[i];
+            const double fcfs = run(false, procs);
+            const double scan = run(true, procs);
+            return {static_cast<double>(procs), fcfs, scan,
+                    100.0 * (scan / fcfs - 1.0)};
+        });
+
     bench::printSeriesHeader({"clients", "FCFS ops/s", "SCAN ops/s",
                               "gain %"});
-    for (unsigned procs : {1u, 8u, 32u, 64u, 128u, 256u}) {
-        const double fcfs = run(false, procs);
-        const double scan = run(true, procs);
-        bench::printSeriesRow({static_cast<double>(procs), fcfs, scan,
-                               100.0 * (scan / fcfs - 1.0)});
-    }
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Expected shape: no difference at one outstanding "
                 "request; the elevator\n  pulls ahead as per-disk "

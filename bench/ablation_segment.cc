@@ -10,6 +10,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "sim/event_queue.hh"
@@ -69,12 +70,17 @@ main()
                        "paper: 960 KB segments over a 16-disk, 64 KB "
                        "stripe-unit array (stripe = 960 KB)");
 
+    const std::vector<std::uint32_t> segs = {30, 60, 120, 240, 480};
+    const auto rows = bench::runSweepParallel(
+        segs.size(), [&](std::size_t i) -> std::vector<double> {
+            const auto pt = run(segs[i]);
+            return {segs[i] * 4.0, pt.write_mbs,
+                    100.0 * pt.rmw_fraction};
+        });
+
     bench::printSeriesHeader({"seg KB", "write MB/s", "partial %"});
-    for (std::uint32_t seg_blocks : {30u, 60u, 120u, 240u, 480u}) {
-        const auto pt = run(seg_blocks);
-        bench::printSeriesRow({seg_blocks * 4.0, pt.write_mbs,
-                               100.0 * pt.rmw_fraction});
-    }
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Expected shape: throughput rises with segment size "
                 "as flushes become\n  full-stripe writes; the paper's "

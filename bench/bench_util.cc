@@ -1,9 +1,12 @@
 #include "bench_util.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
@@ -77,6 +80,53 @@ lfsConfig()
     // "several pipeline processes issuing read requests" (§3.3)
     cfg.pipelineDepth = 8;
     return cfg;
+}
+
+unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("RAID2_BENCH_THREADS");
+        env && *env) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::vector<std::vector<double>>
+runSweepParallel(std::size_t n,
+                 const std::function<std::vector<double>(std::size_t)> &fn)
+{
+    std::vector<std::vector<double>> results(n);
+    const std::size_t nthreads =
+        std::min<std::size_t>(benchThreads(), n != 0 ? n : 1);
+    if (nthreads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+    // Work stealing off a shared counter: sweep points have wildly
+    // different costs (a 20 MB LFS read vs a 16 KB one), so static
+    // partitioning would idle most of the pool.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+        pool.emplace_back([&results, &next, &fn, n] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                results[i] = fn(i);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    return results;
 }
 
 // ---------------------------------------------------------------------

@@ -10,7 +10,9 @@
 #ifndef RAID2_BENCH_BENCH_UTIL_HH
 #define RAID2_BENCH_BENCH_UTIL_HH
 
+#include <cstddef>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,29 @@ raid2::server::Raid2Server::Config hwConfig();
 /** The §3.4 LFS experiment array: 16 disks, 64 KB stripe, 960 KB
  *  segments. */
 raid2::server::Raid2Server::Config lfsConfig();
+
+/**
+ * Worker count for parallel sweeps: the RAID2_BENCH_THREADS
+ * environment variable when set (>= 1; 1 forces the serial path),
+ * otherwise std::thread::hardware_concurrency().
+ */
+unsigned benchThreads();
+
+/**
+ * Run the sweep body @p fn for indices 0..n-1 across a pool of
+ * benchThreads() threads and return the per-index result rows in index
+ * order.
+ *
+ * Each call builds and tears down its own simulated system (the kernel
+ * has no global singleton), so measurements are independent and every
+ * simulation is deterministic; the returned rows — and therefore
+ * everything printed or serialized from them — are bit-identical to a
+ * serial run.  Callers emit the rows after the join, keeping output
+ * order fixed.  @p fn must not touch shared mutable state.
+ */
+std::vector<std::vector<double>> runSweepParallel(
+    std::size_t n,
+    const std::function<std::vector<double>(std::size_t)> &fn);
 
 /**
  * Bench result reporter.

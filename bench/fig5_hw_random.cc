@@ -71,12 +71,19 @@ main()
         64,  128,  256,  384,  512,  640,  704, 768,
         832, 1024, 1280, 1536, 2048, 4096, 8192};
 
+    // Independent simulations per point: sweep in parallel, print in
+    // order (RAID2_BENCH_THREADS=1 restores the serial path).
+    const auto rows = bench::runSweepParallel(
+        sizes_kb.size(), [&](std::size_t i) -> std::vector<double> {
+            const std::uint64_t kb = sizes_kb[i];
+            const double r = measure(false, kb * sim::KB);
+            const double w = measure(true, kb * sim::KB);
+            return {static_cast<double>(kb), r, w};
+        });
+
     bench::printSeriesHeader({"req KB", "read MB/s", "write MB/s"});
-    for (std::uint64_t kb : sizes_kb) {
-        const double r = measure(false, kb * sim::KB);
-        const double w = measure(true, kb * sim::KB);
-        bench::printSeriesRow({static_cast<double>(kb), r, w});
-    }
+    for (const auto &row : rows)
+        bench::printSeriesRow(row);
 
     std::printf("\n  Paper reference points: reads and writes reach "
                 "about 20 MB/s at the\n  largest sizes; the read curve "

@@ -29,18 +29,19 @@ main(int argc, char **argv)
                "paper: 1.1 ms packet overhead, 38.5 MB/s "
                "asymptote");
 
-    rep.seriesHeader({"req KB", "MB/s"});
     const std::vector<std::uint64_t> sizes_kb = {
         4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
 
-    const std::uint64_t last_kb = sizes_kb.back();
-    for (std::uint64_t kb : sizes_kb) {
+    // One loopback measurement; with a Reporter attached it becomes
+    // the instrumented run (stats registry + optional trace).
+    auto measure = [&rep](std::uint64_t kb,
+                          bool instrumented) -> double {
         sim::EventQueue eq;
         xbus::XbusBoard board(eq, "xbus");
         net::HippiLoopback loop(eq, board);
 
         sim::StatsRegistry reg;
-        if (kb == last_kb) {
+        if (instrumented) {
             board.registerStats(reg, "xbus");
             reg.setElapsed([&eq] { return eq.now(); });
             rep.makeTracer(eq);
@@ -60,12 +61,25 @@ main(int argc, char **argv)
         issue();
         eq.run();
 
-        const double mbs =
-            sim::mbPerSec(std::uint64_t(reps) * bytes, eq.now());
-        rep.seriesRow({static_cast<double>(kb), mbs});
-        if (kb == last_kb)
+        if (instrumented)
             rep.snapshotRegistry(reg);
-    }
+        return sim::mbPerSec(std::uint64_t(reps) * bytes, eq.now());
+    };
+
+    // Sweep the sizes across a thread pool (each point is its own
+    // simulation), then emit rows in order; the last size runs once
+    // more, serially, to fill the registry snapshot and trace.
+    const auto rows = bench::runSweepParallel(
+        sizes_kb.size(), [&](std::size_t i) -> std::vector<double> {
+            const std::uint64_t kb = sizes_kb[i];
+            return {static_cast<double>(kb),
+                    measure(kb, /*instrumented=*/false)};
+        });
+
+    rep.seriesHeader({"req KB", "MB/s"});
+    for (const auto &row : rows)
+        rep.seriesRow(row);
+    measure(sizes_kb.back(), /*instrumented=*/true);
 
     std::printf("\n  Expected shape: overhead-dominated at small sizes,"
                 " saturating near 38.5 MB/s\n");

@@ -123,12 +123,20 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> sizes_kb = {
         16, 64, 128, 256, 512, 1024, 2048, 4096, 10240, 20480};
 
+    // Each sweep point is an independent simulation, so the points run
+    // across a thread pool (RAID2_BENCH_THREADS=1 restores serial) and
+    // the rows are emitted in order afterwards — identical output.
+    const auto rows = bench::runSweepParallel(
+        sizes_kb.size(), [&](std::size_t i) -> std::vector<double> {
+            const std::uint64_t kb = sizes_kb[i];
+            const double r = measureReads(kb * sim::KB);
+            const double w = measureWrites(kb * sim::KB);
+            return {static_cast<double>(kb), r, w};
+        });
+
     rep.seriesHeader({"req KB", "read MB/s", "write MB/s"});
-    for (std::uint64_t kb : sizes_kb) {
-        const double r = measureReads(kb * sim::KB);
-        const double w = measureWrites(kb * sim::KB);
-        rep.seriesRow({static_cast<double>(kb), r, w});
-    }
+    for (const auto &row : rows)
+        rep.seriesRow(row);
 
     // One more read run, instrumented: fills the report's registry
     // snapshot and (with --trace) the Chrome-trace file showing the

@@ -9,8 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "fs/mem_block_device.hh"
 #include "lfs/lfs.hh"
 #include "raid/parity.hh"
@@ -36,6 +41,55 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+/** Lazy-cancellation stress: schedule n events, cancel every other
+ *  one, then drain.  Exercises the tombstone purge path that the
+ *  timeout-heavy server configurations hit. */
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::EventQueue::EventId> ids(n);
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            ids[i] = eq.schedule(static_cast<sim::Tick>(i),
+                                 [&] { ++sink; });
+        for (int i = 0; i < n; i += 2)
+            eq.cancel(ids[i]);
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(10000);
+
+/** High-fanout cascade: every event schedules range(0) children until
+ *  100k events have run.  Models completion events fanning out to
+ *  per-disk continuations; the queue depth stays near the fanout
+ *  factor times the frontier. */
+void
+BM_EventQueueFanout(benchmark::State &state)
+{
+    const int fanout = static_cast<int>(state.range(0));
+    constexpr std::uint64_t total = 100000;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t spawned = 1;
+        std::function<void()> node = [&] {
+            for (int c = 0; c < fanout && spawned < total; ++c) {
+                ++spawned;
+                eq.scheduleIn(static_cast<sim::Tick>(1 + c), node);
+            }
+        };
+        eq.schedule(0, node);
+        eq.run();
+        benchmark::DoNotOptimize(spawned);
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_EventQueueFanout)->Arg(4)->Arg(32);
 
 void
 BM_ServiceSubmit(benchmark::State &state)
@@ -115,6 +169,73 @@ BM_LfsWritePath(benchmark::State &state)
 }
 BENCHMARK(BM_LfsWritePath);
 
+/** Wall-clock kernel throughput at queue depth @p n: repeat
+ *  schedule-then-drain rounds for ~200 ms and report events/sec. */
+double
+kernelEventsPerSec(std::uint64_t n)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    std::uint64_t processed = 0;
+    std::chrono::duration<double> elapsed{};
+    do {
+        sim::EventQueue eq;
+        std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+        processed += n;
+        elapsed = clock::now() - t0;
+    } while (elapsed.count() < 0.2);
+    return static_cast<double>(processed) / elapsed.count();
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::Reporter rep("micro_sim", argc, argv);
+
+    // Drop the Reporter's flags before handing argv to
+    // google-benchmark, which rejects unknown arguments.
+    std::vector<char *> bargs;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (i > 0 && (a == "--json" || a == "--trace" ||
+                      a.rfind("--trace=", 0) == 0))
+            continue;
+        bargs.push_back(argv[i]);
+    }
+    int bargc = static_cast<int>(bargs.size());
+    benchmark::Initialize(&bargc, bargs.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, bargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Wall-clock events/sec at several queue depths; with --json the
+    // series lands in BENCH_micro_sim.json alongside commit history.
+    rep.header("Simulation kernel wall-clock throughput",
+               "repo microbenchmark; guards simulator speed, not a "
+               "paper figure");
+
+    // Frozen baselines of the previous std::map-based kernel
+    // (RelWithDebInfo, machine that last touched the kernel), kept in
+    // the report so regressions against the rewrite are visible.
+    rep.row("baseline(map) ScheduleRun/1000", 10.72, "M/s",
+            "heap+ring kernel target: >= 2x");
+    rep.row("baseline(map) ScheduleRun/10000", 9.23, "M/s",
+            "heap+ring kernel target: >= 2x");
+    rep.row("baseline(map) ServiceSubmit", 58.09, "M/s",
+            "heap+ring kernel target: >= 2x");
+    rep.row("baseline(map) PipelineChunked", 181.4, "us",
+            "lower is better");
+
+    rep.seriesHeader({"events", "Mevents/s"});
+    for (std::uint64_t n : {1000ull, 10000ull, 100000ull, 1000000ull})
+        rep.seriesRow({static_cast<double>(n),
+                       kernelEventsPerSec(n) / 1e6});
+    return 0;
+}

@@ -12,6 +12,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "server/raid1_server.hh"
@@ -101,10 +102,21 @@ main()
                        "paper: RAID-I ~275/s at 15 disks (67% of "
                        "potential); RAID-II 400+/s (78%)");
 
-    const auto r1_single = raid1Iops(1, 400);
-    const auto r1_fifteen = raid1Iops(15, 200);
-    const auto r2_single = raid2Iops(1, 400);
-    const auto r2_fifteen = raid2Iops(15, 200);
+    // The four cells are independent simulations; run them across the
+    // bench thread pool (RAID2_BENCH_THREADS=1 restores serial).
+    const auto cells = bench::runSweepParallel(
+        4, [](std::size_t i) -> std::vector<double> {
+            switch (i) {
+              case 0: return {raid1Iops(1, 400).iops};
+              case 1: return {raid1Iops(15, 200).iops};
+              case 2: return {raid2Iops(1, 400).iops};
+              default: return {raid2Iops(15, 200).iops};
+            }
+        });
+    const IopsResult r1_single{cells[0][0]};
+    const IopsResult r1_fifteen{cells[1][0]};
+    const IopsResult r2_single{cells[2][0]};
+    const IopsResult r2_fifteen{cells[3][0]};
 
     std::printf("  %-10s %18s %18s\n", "system", "1 disk (I/Os/s)",
                 "15 disks (I/Os/s)");

@@ -57,10 +57,6 @@ class BlockDevice
     /** @{ Statistics (maintained by implementations via note*()). */
     const sim::Scalar &readsStat() const { return _reads; }
     const sim::Scalar &writesStat() const { return _writes; }
-    [[deprecated("read readsStat() or a StatsRegistry snapshot")]]
-    std::uint64_t readCount() const { return _reads.value(); }
-    [[deprecated("read writesStat() or a StatsRegistry snapshot")]]
-    std::uint64_t writeCount() const { return _writes.value(); }
     void
     resetCounters()
     {

@@ -1,39 +1,244 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace raid2::sim {
 
+/** Storage retained from destroyed queues for reuse on this thread.
+ *  Holds at most one queue's vectors plus a bounded stack of arena
+ *  chunks (all Events empty), so retention is a few MB per thread. */
+struct EventQueue::Recycler
+{
+    static constexpr std::size_t maxChunks = 64;
+
+    std::vector<std::unique_ptr<Event[]>> chunks;
+    std::vector<Entry> ring;
+    std::vector<Entry> heap;
+    std::vector<EventId> slotState;
+    std::vector<std::uint32_t> freeSlots;
+};
+
+EventQueue::Recycler &
+EventQueue::recycler()
+{
+    thread_local Recycler r;
+    return r;
+}
+
+EventQueue::EventQueue()
+{
+    // Adopt pooled vector capacity (the pooled vectors are empty);
+    // arena chunks are taken one at a time by acquireSlot() so a small
+    // queue does not claim the whole pool.
+    Recycler &r = recycler();
+    ring.swap(r.ring);
+    heap.swap(r.heap);
+    slotState.swap(r.slotState);
+    freeSlots.swap(r.freeSlots);
+}
+
+EventQueue::~EventQueue()
+{
+    // Destroy surviving closures; pooled chunks must hold only empty
+    // Events so no user state outlives its queue.
+    for (std::uint32_t s = 0; s < slotCount; ++s)
+        if (slotState[s] != 0)
+            slotRef(s).reset();
+
+    Recycler &r = recycler();
+    if (r.chunks.size() < slotChunks.size() &&
+        slotChunks.size() <= Recycler::maxChunks)
+        r.chunks.swap(slotChunks);
+    const auto keepLarger = [](auto &mine, auto &pooled) {
+        if (mine.capacity() > pooled.capacity()) {
+            mine.clear();
+            pooled.swap(mine);
+        }
+    };
+    keepLarger(ring, r.ring);
+    keepLarger(heap, r.heap);
+    keepLarger(slotState, r.slotState);
+    keepLarger(freeSlots, r.freeSlots);
+}
+
 EventQueue::EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::schedule(Tick when, Event fn)
 {
     if (when < _now)
         panic("scheduling event in the past: when=%llu now=%llu",
               (unsigned long long)when, (unsigned long long)_now);
-    EventId id = nextId++;
-    events.emplace(Key{when, id}, std::move(fn));
+    // The 31-bit sequence wraps after 2^31 schedules; same-tick
+    // insertion ordering across a live window that wide is not
+    // meaningful.
+    const std::uint32_t slot = acquireSlot();
+    slotRef(slot) = std::move(fn);
+    const EventId id = (static_cast<EventId>(nextSeq) << 32) | slot;
+    if (++nextSeq == (1u << 31))
+        nextSeq = 1;
+    slotState[slot] = id;
+
+    const Entry e{id, when};
+    // Monotone fast path: an event no earlier than the ring's tail
+    // appends in O(1).  The sequence grows monotonically, so a fresh
+    // entry never ties with the tail.
+    if (ring.size() == ringHead || !later(ring.back(), e)) {
+        if (ring.size() == ring.capacity())
+            ring.reserve(ring.capacity() < 1024 ? 1024
+                                                : ring.capacity() * 4);
+        ring.push_back(e);
+    } else {
+        heap.push_back(e);
+        siftUp(heap.size() - 1, e);
+    }
     return id;
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots.empty()) {
+        const std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    if (slotCount == slotChunks.size() << slotChunkShift) {
+        Recycler &r = recycler();
+        if (!r.chunks.empty()) {
+            slotChunks.push_back(std::move(r.chunks.back()));
+            r.chunks.pop_back();
+        } else {
+            slotChunks.push_back(std::make_unique<Event[]>(slotChunkSize));
+        }
+        // One reserve per chunk keeps the slot-return path realloc-free.
+        freeSlots.reserve(slotChunks.size() << slotChunkShift);
+        slotState.resize(slotChunks.size() << slotChunkShift, 0);
+    }
+    return slotCount++;
+}
+
+void
+EventQueue::siftUp(std::size_t i, const Entry &e)
+{
+    while (i > 0) {
+        const std::size_t p = (i - 1) / arity;
+        if (!later(heap[p], e))
+            break;
+        heap[i] = heap[p];
+        i = p;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i, const Entry &e)
+{
+    const std::size_t n = heap.size();
+    for (;;) {
+        const std::size_t first = arity * i + 1;
+        if (first >= n)
+            break;
+        const std::size_t last = std::min(first + arity, n);
+        std::size_t m = first;
+        for (std::size_t j = first + 1; j < last; ++j) {
+            if (later(heap[m], heap[j]))
+                m = j;
+        }
+        if (!later(e, heap[m]))
+            break;
+        heap[i] = heap[m];
+        i = m;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::popTop()
+{
+    const Entry last = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0, last);
+}
+
+const EventQueue::Entry &
+EventQueue::minEntry() const
+{
+    if (heap.empty())
+        return ring[ringHead];
+    if (ring.size() == ringHead)
+        return heap.front();
+    return later(heap.front(), ring[ringHead]) ? ring[ringHead]
+                                               : heap.front();
+}
+
+void
+EventQueue::discardMin()
+{
+    if (!heap.empty() &&
+        (ring.size() == ringHead || later(ring[ringHead], heap.front()))) {
+        popTop();
+        return;
+    }
+    ++ringHead;
+    if (ringHead == ring.size()) {
+        ring.clear();
+        ringHead = 0;
+    } else if (ringHead >= 1024 && ringHead * 2 >= ring.size()) {
+        // Keep a long-lived ring from growing without bound.
+        ring.erase(ring.begin(),
+                   ring.begin() + static_cast<std::ptrdiff_t>(ringHead));
+        ringHead = 0;
+    }
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    for (auto it = events.begin(); it != events.end(); ++it) {
-        if (it->first.second == id) {
-            events.erase(it);
-            return true;
-        }
+    // Lazy cancellation, O(1): the id names its slot, whose state word
+    // holds the id of the current occupant.  A fired or already
+    // cancelled id no longer matches (the slot is free, reused under a
+    // newer sequence, or carries the tombstone bit), so it returns
+    // false.  The closure dies now; the queue entry is reclaimed when
+    // it surfaces.
+    if (id == invalidEvent)
+        return false;
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slotCount || slotState[slot] != id)
+        return false;
+    slotState[slot] = id | tombstoneBit;
+    slotRef(slot).reset();
+    ++numTombstones;
+    return true;
+}
+
+void
+EventQueue::purgeTop()
+{
+    while (rawSize() != 0) {
+        const std::uint32_t slot = slotOf(minEntry().id);
+        if (slotState[slot] == minEntry().id)
+            return;
+        slotState[slot] = 0;
+        freeSlots.push_back(slot);
+        discardMin();
+        --numTombstones;
     }
-    return false;
 }
 
 void
 EventQueue::step()
 {
-    auto it = events.begin();
-    _now = it->first.first;
-    auto fn = std::move(it->second);
-    events.erase(it);
+    const Entry top = minEntry();
+    _now = top.when;
+    discardMin();
+    // Move the closure out before invoking: it may schedule (reusing
+    // the slot, which the move left empty).
+    const std::uint32_t slot = slotOf(top.id);
+    Event fn = std::move(slotRef(slot));
+    slotState[slot] = 0;
+    freeSlots.push_back(slot);
     ++numExecuted;
     fn();
 }
@@ -41,17 +246,37 @@ EventQueue::step()
 Tick
 EventQueue::run()
 {
-    while (!events.empty())
-        step();
+    // The drain loop is the kernel's hottest path; it folds the
+    // tombstone check of purgeTop()/step() into one pass per entry.
+    while (rawSize() != 0) {
+        const Entry top = minEntry();
+        discardMin();
+        const std::uint32_t slot = slotOf(top.id);
+        if (slotState[slot] != top.id) {
+            slotState[slot] = 0;
+            freeSlots.push_back(slot);
+            --numTombstones;
+            continue;
+        }
+        _now = top.when;
+        Event fn = std::move(slotRef(slot));
+        slotState[slot] = 0;
+        freeSlots.push_back(slot);
+        ++numExecuted;
+        fn();
+    }
     return _now;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!events.empty() && events.begin()->first.first <= limit)
+    purgeTop();
+    while (rawSize() != 0 && minEntry().when <= limit) {
         step();
-    if (_now < limit && events.empty())
+        purgeTop();
+    }
+    if (_now < limit && rawSize() == 0)
         return _now;
     _now = limit;
     return _now;
@@ -62,10 +287,12 @@ EventQueue::runUntilDone(const std::function<bool()> &done)
 {
     if (done())
         return true;
-    while (!events.empty()) {
+    purgeTop();
+    while (rawSize() != 0) {
         step();
         if (done())
             return true;
+        purgeTop();
     }
     return false;
 }

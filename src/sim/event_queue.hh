@@ -6,7 +6,30 @@
  * are closures scheduled at absolute ticks; ties are broken by
  * insertion order so a run is fully deterministic.  Components hold a
  * reference to the queue and schedule continuations on it; there is no
- * global singleton, so tests can run many independent simulations.
+ * global singleton, so tests can run many independent simulations —
+ * and bench sweeps can run one simulation per worker thread.
+ *
+ * The queue is a 4-ary min-heap over a contiguous vector, ordered by
+ * (tick, sequence); the wide fanout halves the sift depth of a binary
+ * heap and keeps siblings on adjacent cache lines.  In front of the
+ * heap sits a monotone ring: an event scheduled no earlier than the
+ * ring's tail is appended in O(1), so the common simulation patterns —
+ * bulk scheduling, arrival generators, trace replay — never touch the
+ * heap at all, and popping compares the ring head with the heap top to
+ * preserve the exact global (tick, sequence) order.  Scheduling is
+ * O(log n) worst case with no per-node allocations: entries are
+ * 16-byte trivially-copyable (id, tick) pairs so sifts are plain
+ * loads/stores, and the closures — sim::Event values (small-buffer
+ * optimized) — sit still in a chunked slot arena recycled through a
+ * free list.  Cancellation is lazy and O(1): cancel() destroys the
+ * closure and tombstones the event's slot-state word (the id names its
+ * slot directly); the dead entry is discarded when it surfaces.  A
+ * destroyed queue donates its storage to a thread-local recycler so
+ * back-to-back simulations (bench sweeps, test suites) reuse warm
+ * memory instead of page-faulting a fresh working set.  This
+ * follows the gem5/FlashSim
+ * lesson that the event kernel is the hot path everything else stands
+ * on.
  */
 
 #ifndef RAID2_SIM_EVENT_QUEUE_HH
@@ -14,9 +37,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <utility>
+#include <memory>
+#include <vector>
 
+#include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace raid2::sim {
@@ -35,7 +59,8 @@ class EventQueue
     using EventId = std::uint64_t;
     static constexpr EventId invalidEvent = 0;
 
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -43,28 +68,29 @@ class EventQueue
     Tick now() const { return _now; }
 
     /** Schedule @p fn at absolute tick @p when (>= now). */
-    EventId schedule(Tick when, std::function<void()> fn);
+    EventId schedule(Tick when, Event fn);
 
     /** Schedule @p fn @p delay ticks from now. */
     EventId
-    scheduleIn(Tick delay, std::function<void()> fn)
+    scheduleIn(Tick delay, Event fn)
     {
         return schedule(_now + delay, std::move(fn));
     }
 
     /**
-     * Cancel a pending event.
-     * @return true if the event was found and removed.
+     * Cancel a pending event (lazy: the node is tombstoned in place
+     * and reclaimed when it surfaces; its closure is destroyed now).
+     * @return true if the event was pending and is now cancelled.
      */
     bool cancel(EventId id);
 
-    /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return rawSize() - numTombstones; }
 
-    /** True if no events remain. */
-    bool empty() const { return events.empty(); }
+    /** True if no live events remain. */
+    bool empty() const { return pending() == 0; }
 
-    /** Total events executed so far. */
+    /** Total events executed so far (cancelled events never count). */
     std::uint64_t executed() const { return numExecuted; }
 
     /**
@@ -93,16 +119,119 @@ class EventQueue
     /** @} */
 
   private:
-    /** Key orders by (tick, sequence) for deterministic ties. */
-    using Key = std::pair<Tick, EventId>;
+    /**
+     * One heap entry; 16 bytes and trivially copyable so heap sifts
+     * compile to plain loads/stores.  The EventId packs a
+     * monotonically increasing 31-bit sequence in bits 62..32 (the
+     * insertion-order tie-break) and the arena slot of the closure in
+     * the low 32, so the entry needs no third field.  Entries are
+     * immutable once queued; liveness lives in slotState (below), so
+     * cancellation never reorders anything.
+     */
+    struct Entry
+    {
+        EventId id;
+        Tick when;
+    };
 
-    std::map<Key, std::function<void()>> events;
+    /** Bit 63 of a slotState word marks a cancelled event; queued ids
+     *  themselves never have it set (the sequence is 31 bits). */
+    static constexpr EventId tombstoneBit = EventId(1) << 63;
+
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    /** Min-heap order by (when, sequence). */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+
+    /** Heap fanout; 4 wins over 2 on sift depth and cache locality. */
+    static constexpr std::size_t arity = 4;
+
+    /** @{ Hole-based sifts: @p e is written once at its final slot. */
+    void siftUp(std::size_t i, const Entry &e);
+    void siftDown(std::size_t i, const Entry &e);
+    /** @} */
+
+    /** Remove the top entry, restoring the heap property. */
+    void popTop();
+
+    /** @{ Closure arena: fixed-size chunks, so growing never moves an
+     *  Event and slot references stay stable. */
+    static constexpr std::size_t slotChunkShift = 10;
+    static constexpr std::size_t slotChunkSize = 1u << slotChunkShift;
+
+    Event &
+    slotRef(std::uint32_t s)
+    {
+        return slotChunks[s >> slotChunkShift][s & (slotChunkSize - 1)];
+    }
+    const Event &
+    slotRef(std::uint32_t s) const
+    {
+        return slotChunks[s >> slotChunkShift][s & (slotChunkSize - 1)];
+    }
+
+    std::uint32_t acquireSlot();
+    /** @} */
+
+    /**
+     * Thread-local recycler for kernel storage.  Sweeps and tests
+     * build one EventQueue per measurement; without recycling each
+     * queue's ~1 MB working set (ring, arena chunks, slot state) is
+     * returned to the OS at destruction and page-faulted back in by
+     * the next queue, which dominates short runs.  The destructor
+     * donates its storage here and the constructor (or acquireSlot)
+     * adopts it, so back-to-back simulations on one thread reuse warm
+     * memory.  Per-thread, so parallel bench sweeps never contend.
+     */
+    struct Recycler;
+    static Recycler &recycler();
+
+    /** @{ Two-part priority queue: sorted monotone ring + 4-ary heap.
+     *  The ring is a vector consumed from ringHead; it holds entries
+     *  appended in nondecreasing key order.  The global minimum is the
+     *  smaller of ring[ringHead] and heap[0]. */
+    std::vector<Entry> ring;
+    std::size_t ringHead = 0;
+    std::vector<Entry> heap;
+
+    /** Raw entry count, tombstones included. */
+    std::size_t rawSize() const { return ring.size() - ringHead + heap.size(); }
+
+    /** Earliest entry (pre: rawSize() != 0). */
+    const Entry &minEntry() const;
+
+    /** Remove the earliest entry (pre: rawSize() != 0). */
+    void discardMin();
+    /** @} */
+
+    std::vector<std::unique_ptr<Event[]>> slotChunks;
+    std::uint32_t slotCount = 0;
+    std::vector<std::uint32_t> freeSlots;
+
+    /** Per-slot liveness: the id currently occupying the slot, with
+     *  tombstoneBit set once cancelled; 0 when the slot is free.  The
+     *  slot index inside an id makes cancel() a two-load O(1) check
+     *  instead of a queue scan, and a stale id (fired, cancelled, or
+     *  slot since reused under a new sequence) simply fails to match. */
+    std::vector<EventId> slotState;
+    std::size_t numTombstones = 0;
     Tick _now = 0;
-    EventId nextId = 1;
+    std::uint32_t nextSeq = 1; // 31-bit, wraps to 1
     std::uint64_t numExecuted = 0;
     TraceSink *_tracer = nullptr;
 
-    /** Pop and execute the earliest event. */
+    /** Discard tombstoned entries sitting at the front of the queue. */
+    void purgeTop();
+
+    /** Pop and execute the earliest live event (queue must be
+     *  non-empty and purged). */
     void step();
 };
 

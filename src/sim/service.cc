@@ -32,15 +32,14 @@ Service::nextFree() const
 }
 
 void
-Service::submit(std::uint64_t bytes, std::function<void()> done)
+Service::submit(std::uint64_t bytes, Event done)
 {
     submitBusyTime(serviceTime(bytes), std::move(done));
     _bytesServed += bytes;
 }
 
 void
-Service::submitAtRate(std::uint64_t bytes, double mb_per_sec,
-                      std::function<void()> done)
+Service::submitAtRate(std::uint64_t bytes, double mb_per_sec, Event done)
 {
     Tick t = cfg.overhead;
     if (mb_per_sec > 0.0)
@@ -52,7 +51,7 @@ Service::submitAtRate(std::uint64_t bytes, double mb_per_sec,
 }
 
 void
-Service::submitBusyTime(Tick service_ticks, std::function<void()> done)
+Service::submitBusyTime(Tick service_ticks, Event done)
 {
     const Tick start = nextFree();
     const Tick finish = start + service_ticks;
@@ -89,7 +88,7 @@ Service::resetStats()
 
 Pipeline::Pipeline(EventQueue &eq_, std::vector<Stage> stages_,
                    std::uint64_t bytes, std::uint64_t chunk,
-                   std::function<void()> done_)
+                   Event done_)
     : eq(eq_), stages(std::move(stages_)), done(std::move(done_)),
       remainingAtLast(bytes)
 {
@@ -113,7 +112,7 @@ Pipeline::Pipeline(EventQueue &eq_, std::vector<Stage> stages_,
 void
 Pipeline::start(EventQueue &eq, const std::vector<Stage> &stages,
                 std::uint64_t bytes, std::uint64_t chunk_bytes,
-                std::function<void()> done)
+                Event done)
 {
     if (bytes == 0)
         bytes = 1; // still pay each stage's fixed overhead

@@ -61,7 +61,7 @@ class Service
      * Enqueue a request for @p bytes; @p done fires when the request
      * completes service.  @p done may be null.
      */
-    void submit(std::uint64_t bytes, std::function<void()> done);
+    void submit(std::uint64_t bytes, Event done);
 
     /**
      * Like submit() but at an explicit rate, for stations whose speed
@@ -69,11 +69,10 @@ class Service
      * vs 5.9 MB/s writes through one physical port).  @p mb_per_sec of
      * 0 means infinitely fast (only the fixed overhead is charged).
      */
-    void submitAtRate(std::uint64_t bytes, double mb_per_sec,
-                      std::function<void()> done);
+    void submitAtRate(std::uint64_t bytes, double mb_per_sec, Event done);
 
     /** Occupy the station for an explicit duration. */
-    void submitBusyTime(Tick service_ticks, std::function<void()> done);
+    void submitBusyTime(Tick service_ticks, Event done);
 
     /** Earliest tick at which a request submitted now could start. */
     Tick nextFree() const;
@@ -141,18 +140,18 @@ class Pipeline
     /** Begin a pipelined transfer; returns immediately. */
     static void start(EventQueue &eq, const std::vector<Stage> &stages,
                       std::uint64_t bytes, std::uint64_t chunk_bytes,
-                      std::function<void()> done);
+                      Event done);
 
   private:
     Pipeline(EventQueue &eq, std::vector<Stage> stages, std::uint64_t bytes,
-             std::uint64_t chunk, std::function<void()> done);
+             std::uint64_t chunk, Event done);
 
     void submitChunk(std::size_t stage, std::uint64_t chunk_bytes);
     void chunkLeft(std::size_t stage, std::uint64_t chunk_bytes);
 
     EventQueue &eq;
     std::vector<Stage> stages;
-    std::function<void()> done;
+    Event done;
     std::uint64_t remainingAtLast;
 };
 

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/service.hh"
@@ -337,6 +340,193 @@ TEST(Pipeline, ZeroByteTransferStillCompletes)
     sim::Pipeline::start(eq, {&a}, 0, 4096, [&] { done = true; });
     eq.run();
     EXPECT_TRUE(done);
+}
+
+// ---------------------------------------------------------------------
+// Lazy cancellation: cancel() tombstones in place and the queue
+// reclaims dead entries as they surface, so the bookkeeping views
+// (pending/empty) must hide tombstones at all times.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueCancel, PendingExcludesTombstones)
+{
+    sim::EventQueue eq;
+    std::vector<sim::EventQueue::EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(eq.schedule(sim::Tick(10 + i), [] {}));
+    EXPECT_EQ(eq.pending(), 8u);
+
+    EXPECT_TRUE(eq.cancel(ids[0])); // current front
+    EXPECT_TRUE(eq.cancel(ids[7])); // back
+    EXPECT_TRUE(eq.cancel(ids[3])); // middle
+    EXPECT_EQ(eq.pending(), 5u);
+    EXPECT_FALSE(eq.empty());
+
+    for (int i = 0; i < 8; ++i)
+        eq.cancel(ids[i]);
+    EXPECT_EQ(eq.pending(), 0u);
+    // All-tombstone queue counts as empty before anything surfaces.
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueueCancel, DoubleCancelSecondFails)
+{
+    sim::EventQueue eq;
+    const auto id = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueueCancel, CancelFromInsideRunningEvent)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    sim::EventQueue::EventId victim = sim::EventQueue::invalidEvent;
+    bool cancelled = false;
+    eq.schedule(5, [&] { cancelled = eq.cancel(victim); });
+    victim = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.run();
+    EXPECT_TRUE(cancelled);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.executed(), 2u);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueueCancel, CancelOwnIdFromInsideEventFails)
+{
+    // By the time an event runs it has been dequeued; cancelling
+    // itself must be a no-op returning false.
+    sim::EventQueue eq;
+    sim::EventQueue::EventId self = sim::EventQueue::invalidEvent;
+    bool result = true;
+    self = eq.schedule(5, [&] { result = eq.cancel(self); });
+    eq.run();
+    EXPECT_FALSE(result);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueueCancel, CancelledSlotReuseKeepsIdsDistinct)
+{
+    // A cancelled event's arena slot is recycled; the stale id must
+    // not cancel the slot's next occupant.
+    sim::EventQueue eq;
+    int fired = 0;
+    const auto old_id = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(old_id));
+    eq.run(); // surfaces the tombstone, freeing the slot
+    const auto new_id = eq.schedule(20, [&] { ++fired; });
+    EXPECT_NE(old_id, new_id);
+    EXPECT_FALSE(eq.cancel(old_id));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueCancel, DestructionDestroysPendingClosures)
+{
+    // Destroying a queue with events still pending must run the
+    // closures' destructors (their storage is donated to the
+    // thread-local recycler, so captures must not outlive the queue),
+    // and a queue built afterwards from recycled storage must start
+    // fresh.
+    auto token = std::make_shared<int>(7);
+    {
+        sim::EventQueue eq;
+        for (int i = 0; i < 100; ++i)
+            eq.schedule(sim::Tick(i), [token] { ++*token; });
+        eq.cancel(eq.schedule(1000, [token] { ++*token; }));
+        EXPECT_GT(token.use_count(), 1);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(sim::Tick(10 - i), [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(EventQueueCancel, TombstonesDoNotPerturbOrder)
+{
+    // Interleave live and cancelled events at one tick and check the
+    // survivors still fire in insertion order.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    std::vector<sim::EventQueue::EventId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(eq.schedule(50, [&order, i] { order.push_back(i); }));
+    for (int i = 0; i < 10; i += 2)
+        EXPECT_TRUE(eq.cancel(ids[i]));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(EventQueueCancel, RunUntilAcrossTombstones)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    const auto a = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    const auto c = eq.schedule(30, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(a));
+    EXPECT_TRUE(eq.cancel(c));
+    // Cancelling 30 drains the queue at 20, so the run stops there —
+    // same as if the event had been eagerly erased.
+    EXPECT_EQ(eq.runUntil(25), 20u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
+
+    // With a live event beyond the limit the clock does reach it.
+    eq.schedule(40, [&] { ++fired; });
+    const auto d = eq.schedule(30, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(d));
+    EXPECT_EQ(eq.runUntil(35), 35u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(Event, MoveOnlyCaptureAndLargeCallable)
+{
+    sim::EventQueue eq;
+    // Move-only capture (rejected by std::function).
+    auto payload = std::make_unique<int>(41);
+    int seen = 0;
+    eq.schedule(1, [p = std::move(payload), &seen] { seen = *p + 1; });
+    // Oversized callable takes the heap fallback but still runs.
+    struct Big
+    {
+        char pad[200];
+    } big{};
+    big.pad[0] = 7;
+    int big_seen = 0;
+    eq.schedule(2, [big, &big_seen] { big_seen = big.pad[0]; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+    EXPECT_EQ(big_seen, 7);
+}
+
+TEST(Event, EmptyStdFunctionMakesEmptyEvent)
+{
+    std::function<void()> null_fn;
+    sim::Event ev(std::move(null_fn));
+    EXPECT_FALSE(static_cast<bool>(ev));
+    sim::Event ev2([] {});
+    EXPECT_TRUE(static_cast<bool>(ev2));
+    sim::Event ev3 = std::move(ev2);
+    EXPECT_TRUE(static_cast<bool>(ev3));
+    EXPECT_FALSE(static_cast<bool>(ev2)); // moved-from is empty
 }
 
 } // namespace
