@@ -59,10 +59,36 @@ DiskModel::submitBytes(std::uint64_t offset, std::uint64_t bytes, bool write,
 }
 
 void
+DiskModel::stall(Tick duration)
+{
+    const Tick until = eq.now() + duration;
+    ++_stalls;
+    _stallTicks += duration;
+    if (until > stallUntil)
+        stallUntil = until;
+    if (auto *t = eq.tracer())
+        t->complete(_name, "stall", eq.now(), until, 0);
+}
+
+void
 DiskModel::startNext()
 {
     if (sched->empty()) {
         busy = false;
+        return;
+    }
+    if (eq.now() < stallUntil) {
+        // Drive is riding out an injected timeout: hold the queue and
+        // resume when the stall expires.  One wakeup suffices even if
+        // the stall is extended meanwhile — startNext re-checks.
+        busy = true;
+        if (!stallPending) {
+            stallPending = true;
+            eq.schedule(stallUntil, [this] {
+                stallPending = false;
+                startNext();
+            });
+        }
         return;
     }
     busy = true;
@@ -167,6 +193,10 @@ DiskModel::registerStats(sim::StatsRegistry &reg,
                  [this] { return static_cast<double>(_sectorsWritten); });
     reg.addGauge(prefix + ".readahead_hits",
                  [this] { return static_cast<double>(_readAheadHits); });
+    reg.addGauge(prefix + ".stalls",
+                 [this] { return static_cast<double>(_stalls); });
+    reg.addGauge(prefix + ".stall_ms",
+                 [this] { return sim::ticksToMs(_stallTicks); });
     reg.add(prefix + ".service_ms", _serviceMs);
     reg.add(prefix + ".position_ms", _positionMs);
     reg.add(prefix + ".queue_depth", _queueDepth);
@@ -180,6 +210,8 @@ DiskModel::resetStats()
     _sectorsRead = 0;
     _sectorsWritten = 0;
     _readAheadHits = 0;
+    _stalls = 0;
+    _stallTicks = 0;
     _serviceMs.reset();
     _positionMs.reset();
     _queueDepth.reset();

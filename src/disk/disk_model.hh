@@ -59,11 +59,25 @@ class DiskModel
     /** True if no command is queued or in flight. */
     bool idle() const { return !busy && sched->empty(); }
 
+    /**
+     * Fault-injection hook: stall the drive for @p duration ticks,
+     * modeling a transient firmware timeout or retry storm.  A command
+     * already on the media finishes normally; the next command does
+     * not start until the stall expires.  Overlapping stalls extend,
+     * they do not stack.
+     */
+    void stall(Tick duration);
+
+    /** True while a stall is pending or in effect. */
+    bool stalled() const { return eq.now() < stallUntil; }
+
     /** @{ Statistics. */
     std::uint64_t requests() const { return _requests; }
     std::uint64_t sectorsRead() const { return _sectorsRead; }
     std::uint64_t sectorsWritten() const { return _sectorsWritten; }
     std::uint64_t readAheadHits() const { return _readAheadHits; }
+    std::uint64_t stalls() const { return _stalls; }
+    Tick stallTicks() const { return _stallTicks; }
     /** Per-command service time in ms (positioning + transfer). */
     const sim::Distribution &serviceMs() const { return _serviceMs; }
     /** Per-command positioning (seek + rotation) time in ms. */
@@ -103,10 +117,18 @@ class DiskModel
     /** Simulated time of the last read completion. */
     Tick lastReadDone = 0;
 
+    /** @{ Injected-stall state: commands queued before this tick wait;
+     *  stallPending guards against scheduling duplicate wakeups. */
+    Tick stallUntil = 0;
+    bool stallPending = false;
+    /** @} */
+
     std::uint64_t _requests = 0;
     std::uint64_t _sectorsRead = 0;
     std::uint64_t _sectorsWritten = 0;
     std::uint64_t _readAheadHits = 0;
+    std::uint64_t _stalls = 0;
+    Tick _stallTicks = 0;
     sim::Distribution _serviceMs;
     sim::Distribution _positionMs;
     sim::Distribution _queueDepth;

@@ -1,0 +1,411 @@
+#include "fault/fault_controller.hh"
+
+#include <algorithm>
+
+#include "scsi/cougar_controller.hh"
+#include "sim/logging.hh"
+#include "sim/trace_sink.hh"
+
+namespace raid2::fault {
+
+FaultController::FaultController(sim::EventQueue &eq_, std::string name,
+                                 Hooks hooks_)
+    : eq(eq_), _name(std::move(name)), hooks(hooks_)
+{
+    if (!hooks.array)
+        sim::panic("FaultController %s: no array", _name.c_str());
+    const unsigned n = hooks.array->numDisks();
+    _latents.resize(n);
+    // Latents land inside the space the layout actually stripes (and,
+    // when a functional twin is attached, inside its member disks).
+    const auto &layout = hooks.array->layout();
+    _diskSpan = layout.numStripes() * layout.unitBytes();
+    if (hooks.functional) {
+        if (hooks.functional->numDisks() != n)
+            sim::panic("FaultController %s: functional twin has %u "
+                       "disks, timed array %u", _name.c_str(),
+                       hooks.functional->numDisks(), n);
+        _diskSpan =
+            std::min<std::uint64_t>(_diskSpan,
+                                    hooks.functional->diskData(0).size());
+    }
+    hooks.array->setFaultOracle(this);
+}
+
+FaultController::~FaultController()
+{
+    hooks.array->setFaultOracle(nullptr);
+}
+
+void
+FaultController::setPlan(FaultPlan plan)
+{
+    if (_started)
+        sim::panic("FaultController %s: plan set after start",
+                   _name.c_str());
+    _plan = std::move(plan);
+    _plan.sortByTime();
+}
+
+void
+FaultController::start()
+{
+    if (_started)
+        sim::panic("FaultController %s: started twice", _name.c_str());
+    _started = true;
+    for (const FaultEvent &e : _plan.events) {
+        eq.schedule(std::max(e.at, eq.now()),
+                    [this, e] { handleEvent(e); });
+    }
+}
+
+void
+FaultController::trace(const FaultEvent &e, const char *label) const
+{
+    if (auto *t = eq.tracer())
+        t->complete(_name, label, eq.now(), eq.now() + e.duration,
+                    e.bytes);
+}
+
+void
+FaultController::handleEvent(const FaultEvent &e)
+{
+    raid::SimArray &array = *hooks.array;
+    switch (e.kind) {
+    case FaultKind::DiskFail:
+        injectDiskFail(e.target);
+        return;
+    case FaultKind::LatentError:
+        injectLatent(e.target, e.offset, e.bytes);
+        return;
+    case FaultKind::DiskStall: {
+        if (e.target >= array.numDisks() || array.isFailed(e.target)) {
+            ++_suppressed;
+            return;
+        }
+        array.disk(e.target).stall(e.duration);
+        ++_injected[static_cast<std::size_t>(e.kind)];
+        trace(e, "disk_stall");
+        return;
+    }
+    case FaultKind::ScsiHang: {
+        const unsigned per = scsi::CougarController::numStrings;
+        const unsigned total = array.numCougarControllers() * per;
+        const unsigned s = e.target % total;
+        array.cougar(s / per).string(s % per).injectHang(e.duration);
+        ++_injected[static_cast<std::size_t>(e.kind)];
+        trace(e, "scsi_hang");
+        return;
+    }
+    case FaultKind::XbusPortError: {
+        array.board().injectPortError(
+            e.target % xbus::XbusBoard::numVmePorts, e.duration);
+        ++_injected[static_cast<std::size_t>(e.kind)];
+        trace(e, "xbus_port_error");
+        return;
+    }
+    case FaultKind::HippiLinkDrop: {
+        if (!hooks.hippi) {
+            ++_suppressed;
+            return;
+        }
+        hooks.hippi->injectLinkDown(e.duration);
+        ++_injected[static_cast<std::size_t>(e.kind)];
+        trace(e, "hippi_link_drop");
+        return;
+    }
+    }
+}
+
+void
+FaultController::injectDiskFail(unsigned d)
+{
+    raid::SimArray &array = *hooks.array;
+    if (d >= array.numDisks() || array.isFailed(d)) {
+        ++_suppressed;
+        return;
+    }
+    const raid::RaidLevel level = array.layout().level();
+    if (level == raid::RaidLevel::Raid0) {
+        // No redundancy: the disk's data is simply gone.  Account the
+        // loss; injecting would leave the simulator unable to serve
+        // any read of the dead disk.
+        ++_dataLossEvents;
+        ++_suppressed;
+        return;
+    }
+    if (array.degraded()) {
+        // Second failure before the first rebuild completed: the
+        // classic RAID data-loss mode.  The campaign records it; the
+        // simulated array soldiers on with the first failure so the
+        // run (and its statistics) stay well-defined.
+        ++_doubleFailures;
+        ++_dataLossEvents;
+        if (auto *t = eq.tracer())
+            t->complete(_name, "double_failure", eq.now(), eq.now(), 0);
+        return;
+    }
+
+    // Latent ranges outstanding on the disks the rebuild will read are
+    // unreconstructable stripes: each is a data-loss event.  The
+    // defects are consumed here (media reallocation on the failed
+    // array) so both planes stay recoverable.
+    const unsigned half = array.layout().numDisks() / 2;
+    for (unsigned o = 0; o < _latents.size(); ++o) {
+        if (o == d || _latents[o].empty())
+            continue;
+        if (level == raid::RaidLevel::Raid1) {
+            // Only the mirror partner participates in this rebuild.
+            const unsigned partner = d < half
+                                         ? array.layout().mirrorDisk(d)
+                                         : d - half;
+            if (o != partner)
+                continue;
+        }
+        const std::uint64_t n = _latents[o].size();
+        _rebuildExposed += n;
+        _dataLossEvents += n;
+        if (hooks.functional) {
+            for (const auto &[s, len] : _latents[o])
+                hooks.functional->repairLatent(o, s, len);
+        }
+        _latents[o].clear();
+    }
+    _latents[d].clear();
+
+    if (hooks.functional)
+        hooks.functional->failDisk(d);
+    array.failDisk(d);
+    ++_injected[static_cast<std::size_t>(FaultKind::DiskFail)];
+    if (auto *t = eq.tracer())
+        t->complete(_name, "disk_fail", eq.now(), eq.now(), 0);
+    if (_onDiskFail)
+        _onDiskFail(d);
+}
+
+void
+FaultController::injectLatent(unsigned d, std::uint64_t off,
+                              std::uint64_t bytes)
+{
+    raid::SimArray &array = *hooks.array;
+    if (d >= array.numDisks() || bytes == 0 || off >= _diskSpan) {
+        ++_suppressed;
+        return;
+    }
+    bytes = std::min(bytes, _diskSpan - off);
+    if (array.isFailed(d)) {
+        ++_suppressed;
+        return;
+    }
+    if (array.degraded()) {
+        // A defect growing on a survivor while the array is degraded
+        // has no redundancy to repair from: data loss.
+        ++_latentWhileDegraded;
+        ++_dataLossEvents;
+        return;
+    }
+    for (unsigned o = 0; o < _latents.size(); ++o) {
+        if (o != d && overlaps(_latents[o], off, bytes)) {
+            // Overlapping defects on two disks of one stripe row:
+            // neither side can reconstruct the other.
+            ++_latentCollisions;
+            ++_dataLossEvents;
+            return;
+        }
+    }
+    insertInterval(_latents[d], off, bytes);
+    if (hooks.functional)
+        hooks.functional->injectLatent(d, off, bytes);
+    ++_injected[static_cast<std::size_t>(FaultKind::LatentError)];
+    if (auto *t = eq.tracer())
+        t->complete(_name, "latent_error", eq.now(), eq.now(), bytes);
+}
+
+void
+FaultController::noteDiskRestored(unsigned d)
+{
+    if (hooks.functional && hooks.functional->isFailed(d))
+        hooks.functional->rebuildDisk(d);
+}
+
+bool
+FaultController::hasLatent(unsigned d, std::uint64_t off,
+                           std::uint64_t bytes) const
+{
+    return overlaps(_latents.at(d), off, bytes);
+}
+
+void
+FaultController::repairedLatent(unsigned d, std::uint64_t off,
+                                std::uint64_t bytes, bool by_scrub)
+{
+    // The datapath reports the whole transfer it verified (a scrub
+    // chunk, a read extent); only the defective subranges inside it
+    // are repaired in the functional plane.  Repairing the full span
+    // would reconstruct bytes that are latent on *other* disks —
+    // a false unrecoverable-range error.
+    IntervalMap &m = _latents.at(d);
+    const std::uint64_t end = off + bytes;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> touched;
+    for (const auto &[s, len] : m) {
+        const std::uint64_t e = s + len;
+        if (e <= off || s >= end)
+            continue;
+        const std::uint64_t cs = std::max(s, off);
+        touched.emplace_back(cs, std::min(e, end) - cs);
+    }
+    if (touched.empty())
+        return;
+    std::uint64_t repaired_bytes = 0;
+    for (const auto &[s, len] : touched) {
+        if (hooks.functional &&
+            hooks.functional->latentOverlaps(d, s, len))
+            hooks.functional->repairLatent(d, s, len);
+        repaired_bytes += len;
+    }
+    const std::uint64_t ranges = eraseInterval(m, off, bytes);
+    (by_scrub ? _scrubRepairs : _readRepairs) += ranges;
+    _repairedBytes += repaired_bytes;
+}
+
+std::uint64_t
+FaultController::latentRangesOutstanding() const
+{
+    std::uint64_t n = 0;
+    for (const auto &m : _latents)
+        n += m.size();
+    return n;
+}
+
+std::uint64_t
+FaultController::latentBytesOutstanding() const
+{
+    std::uint64_t n = 0;
+    for (const auto &m : _latents)
+        for (const auto &[s, len] : m)
+            n += len;
+    return n;
+}
+
+std::uint64_t
+FaultController::injectedTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto v : _injected)
+        n += v;
+    return n;
+}
+
+bool
+FaultController::overlaps(const IntervalMap &m, std::uint64_t off,
+                          std::uint64_t bytes) const
+{
+    if (m.empty() || bytes == 0)
+        return false;
+    auto it = m.upper_bound(off);
+    if (it != m.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->first + prev->second > off)
+            return true;
+    }
+    return it != m.end() && it->first < off + bytes;
+}
+
+void
+FaultController::insertInterval(IntervalMap &m, std::uint64_t off,
+                                std::uint64_t bytes)
+{
+    std::uint64_t s = off, e = off + bytes;
+    auto it = m.upper_bound(s);
+    if (it != m.begin())
+        --it;
+    while (it != m.end() && it->first <= e) {
+        const std::uint64_t iend = it->first + it->second;
+        if (iend < s) {
+            ++it;
+            continue;
+        }
+        s = std::min(s, it->first);
+        e = std::max(e, iend);
+        it = m.erase(it);
+    }
+    m.emplace(s, e - s);
+}
+
+std::uint64_t
+FaultController::eraseInterval(IntervalMap &m, std::uint64_t off,
+                               std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    std::uint64_t ranges = 0;
+    const std::uint64_t end = off + bytes;
+    auto it = m.upper_bound(off);
+    if (it != m.begin())
+        --it;
+    while (it != m.end() && it->first < end) {
+        const std::uint64_t istart = it->first;
+        const std::uint64_t iend = it->first + it->second;
+        if (iend <= off) {
+            ++it;
+            continue;
+        }
+        ++ranges;
+        it = m.erase(it);
+        if (istart < off)
+            m.emplace(istart, off - istart);
+        if (iend > end)
+            it = m.emplace(end, iend - end).first;
+    }
+    return ranges;
+}
+
+void
+FaultController::registerStats(sim::StatsRegistry &reg,
+                               const std::string &prefix) const
+{
+    static const char *kindKeys[] = {"disk_fails", "latent_errors",
+                                     "disk_stalls", "scsi_hangs",
+                                     "xbus_port_errors",
+                                     "hippi_link_drops"};
+    for (std::size_t k = 0; k < _injected.size(); ++k) {
+        reg.addGauge(prefix + ".injected." + kindKeys[k], [this, k] {
+            return static_cast<double>(_injected[k]);
+        });
+    }
+    reg.addGauge(prefix + ".suppressed", [this] {
+        return static_cast<double>(_suppressed);
+    });
+    reg.addGauge(prefix + ".data_loss_events", [this] {
+        return static_cast<double>(_dataLossEvents);
+    });
+    reg.addGauge(prefix + ".double_failures", [this] {
+        return static_cast<double>(_doubleFailures);
+    });
+    reg.addGauge(prefix + ".rebuild_exposed_ranges", [this] {
+        return static_cast<double>(_rebuildExposed);
+    });
+    reg.addGauge(prefix + ".latents_while_degraded", [this] {
+        return static_cast<double>(_latentWhileDegraded);
+    });
+    reg.addGauge(prefix + ".latent_collisions", [this] {
+        return static_cast<double>(_latentCollisions);
+    });
+    reg.addGauge(prefix + ".latent_ranges_outstanding", [this] {
+        return static_cast<double>(latentRangesOutstanding());
+    });
+    reg.addGauge(prefix + ".latent_bytes_outstanding", [this] {
+        return static_cast<double>(latentBytesOutstanding());
+    });
+    reg.addGauge(prefix + ".read_repaired_ranges", [this] {
+        return static_cast<double>(_readRepairs);
+    });
+    reg.addGauge(prefix + ".scrub_repaired_ranges", [this] {
+        return static_cast<double>(_scrubRepairs);
+    });
+    reg.addGauge(prefix + ".repaired_bytes", [this] {
+        return static_cast<double>(_repairedBytes);
+    });
+}
+
+} // namespace raid2::fault

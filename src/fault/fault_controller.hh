@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Orchestrated fault injection for the RAID-II simulator.
+ *
+ * The FaultController replays a FaultPlan into a running system
+ * through the small hook points the layers expose: DiskModel::stall,
+ * ScsiString::injectHang, XbusBoard::injectPortError,
+ * HippiChannel::injectLinkDown, and SimArray::failDisk.  It also owns
+ * the latent-media-defect map and implements raid::MediaFaultOracle,
+ * so a timed read that lands on a defective range triggers the array's
+ * reconstruct-and-rewrite sequence; when a functional RaidArray twin
+ * is attached, every fault and repair is mirrored into it so the byte
+ * plane and the timing plane stay consistent (the property tests
+ * compare the functional plane against a fault-free shadow).
+ *
+ * Injection preserves the recoverability invariant documented in
+ * RaidArray: events that *would* destroy data — a second disk death
+ * while degraded, a latent error surfacing while the array is
+ * degraded, latent ranges colliding across disks, or latents
+ * outstanding on survivors when a disk dies (the rebuild would be
+ * unable to reconstruct those stripes) — are accounted as data-loss
+ * events instead of being injected, which is exactly the quantity a
+ * Monte Carlo MTTDL campaign estimates.
+ */
+
+#ifndef RAID2_FAULT_FAULT_CONTROLLER_HH
+#define RAID2_FAULT_FAULT_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "net/hippi.hh"
+#include "raid/raid_array.hh"
+#include "raid/sim_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats_registry.hh"
+
+namespace raid2::fault {
+
+/** Deterministic fault injector + latent-defect oracle. */
+class FaultController : public raid::MediaFaultOracle
+{
+  public:
+    /** Injection targets.  @c array is required; the rest optional. */
+    struct Hooks
+    {
+        raid::SimArray *array = nullptr;
+        /** Functional twin; faults/repairs are mirrored into it. */
+        raid::RaidArray *functional = nullptr;
+        /** HIPPI channel for link-drop events. */
+        net::HippiChannel *hippi = nullptr;
+    };
+
+    FaultController(sim::EventQueue &eq, std::string name, Hooks hooks);
+    ~FaultController() override;
+
+    /** @{ The plan.  start() schedules every event; call once. */
+    void setPlan(FaultPlan plan);
+    const FaultPlan &plan() const { return _plan; }
+    void start();
+    /** @} */
+
+    /** Invoked after a whole-disk failure is injected (the
+     *  RecoveryManager hangs its spare allocation off this). */
+    void onDiskFail(std::function<void(unsigned disk)> cb)
+    {
+        _onDiskFail = std::move(cb);
+    }
+
+    /** A rebuild finished: mirror the restore into the functional
+     *  plane. */
+    void noteDiskRestored(unsigned d);
+
+    /** @{ raid::MediaFaultOracle. */
+    bool hasLatent(unsigned d, std::uint64_t off,
+                   std::uint64_t bytes) const override;
+    void repairedLatent(unsigned d, std::uint64_t off,
+                        std::uint64_t bytes, bool by_scrub) override;
+    /** @} */
+
+    /** @{ Latent-map queries (scrubber, tests). */
+    std::uint64_t latentRangesOutstanding() const;
+    std::uint64_t latentBytesOutstanding() const;
+    bool diskHasLatents(unsigned d) const
+    {
+        return !_latents.at(d).empty();
+    }
+    /** @} */
+
+    /** @{ Campaign accounting. */
+    std::uint64_t injected(FaultKind k) const
+    {
+        return _injected[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t injectedTotal() const;
+    /** Events skipped (bad target, already-failed disk, ...). */
+    std::uint64_t suppressed() const { return _suppressed; }
+    /** Would-be unrecoverable situations, by cause. */
+    std::uint64_t dataLossEvents() const { return _dataLossEvents; }
+    std::uint64_t doubleFailures() const { return _doubleFailures; }
+    std::uint64_t rebuildExposedRanges() const
+    {
+        return _rebuildExposed;
+    }
+    std::uint64_t latentsWhileDegraded() const
+    {
+        return _latentWhileDegraded;
+    }
+    /** Repairs reported back by the datapath / scrubber. */
+    std::uint64_t readRepairedRanges() const { return _readRepairs; }
+    std::uint64_t scrubRepairedRanges() const { return _scrubRepairs; }
+    /** @} */
+
+    /** Register campaign stats under @p prefix ("fault.*"). */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix = "fault") const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    using IntervalMap = std::map<std::uint64_t, std::uint64_t>;
+
+    void handleEvent(const FaultEvent &e);
+    void injectDiskFail(unsigned d);
+    void injectLatent(unsigned d, std::uint64_t off, std::uint64_t bytes);
+    void trace(const FaultEvent &e, const char *label) const;
+
+    bool overlaps(const IntervalMap &m, std::uint64_t off,
+                  std::uint64_t bytes) const;
+    void insertInterval(IntervalMap &m, std::uint64_t off,
+                        std::uint64_t bytes);
+    /** Remove overlap with [off, off+bytes); @return ranges touched. */
+    std::uint64_t eraseInterval(IntervalMap &m, std::uint64_t off,
+                                std::uint64_t bytes);
+
+    sim::EventQueue &eq;
+    std::string _name;
+    Hooks hooks;
+    FaultPlan _plan;
+    bool _started = false;
+
+    /** Per-disk latent ranges (offset -> length, non-overlapping). */
+    std::vector<IntervalMap> _latents;
+    /** Per-disk span usable for latent placement. */
+    std::uint64_t _diskSpan = 0;
+
+    std::function<void(unsigned)> _onDiskFail;
+
+    std::array<std::uint64_t, 6> _injected{};
+    std::uint64_t _suppressed = 0;
+    std::uint64_t _dataLossEvents = 0;
+    std::uint64_t _doubleFailures = 0;
+    std::uint64_t _rebuildExposed = 0;
+    std::uint64_t _latentWhileDegraded = 0;
+    std::uint64_t _latentCollisions = 0;
+    std::uint64_t _readRepairs = 0;
+    std::uint64_t _scrubRepairs = 0;
+    std::uint64_t _repairedBytes = 0;
+};
+
+} // namespace raid2::fault
+
+#endif // RAID2_FAULT_FAULT_CONTROLLER_HH

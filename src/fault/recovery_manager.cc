@@ -1,0 +1,107 @@
+#include "fault/recovery_manager.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace_sink.hh"
+
+namespace raid2::fault {
+
+RecoveryManager::RecoveryManager(sim::EventQueue &eq_, std::string name,
+                                 raid::SimArray &array_,
+                                 FaultController &faults_,
+                                 const Config &cfg_)
+    : eq(eq_), _name(std::move(name)), array(array_), faults(faults_),
+      cfg(cfg_), _spares(cfg_.spares)
+{
+    faults.onDiskFail([this](unsigned d) { diskFailed(d); });
+}
+
+void
+RecoveryManager::diskFailed(unsigned d)
+{
+    pending.push_back({d, eq.now()});
+    tryStart();
+}
+
+void
+RecoveryManager::tryStart()
+{
+    if (attaching || rebuildActive() || pending.empty())
+        return;
+    if (_spares == 0)
+        return; // a replacement arrival re-triggers
+    const PendingFailure f = pending.front();
+    pending.pop_front();
+    --_spares;
+    ++_sparesUsed;
+    attaching = true;
+    eq.scheduleIn(cfg.spareAttachDelay, [this, f] {
+        attaching = false;
+        startRebuild(f.disk, f.at);
+    });
+}
+
+void
+RecoveryManager::startRebuild(unsigned disk, sim::Tick failed_at)
+{
+    ++_rebuildsStarted;
+    _job = std::make_unique<raid::RebuildJob>(eq, array, disk,
+                                              cfg.rebuildWindow,
+                                              cfg.rebuildThrottle);
+    _job->start([this, disk, failed_at] {
+        ++_rebuildsCompleted;
+        const double mttr = sim::ticksToMs(eq.now() - failed_at);
+        _mttrMs.sample(mttr);
+        if (auto *t = eq.tracer())
+            t->complete(_name, "rebuild", failed_at, eq.now(), 0);
+        // The timed plane is already restored (RebuildJob does it);
+        // mirror into the functional plane.
+        faults.noteDiskRestored(disk);
+        if (cfg.replacementDelay > 0) {
+            eq.scheduleIn(cfg.replacementDelay, [this] {
+                ++_spares;
+                tryStart();
+            });
+        }
+        if (_onDone)
+            _onDone(disk, mttr);
+        tryStart();
+    });
+}
+
+void
+RecoveryManager::registerStats(sim::StatsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".spares_available",
+                 [this] { return static_cast<double>(_spares); });
+    reg.addGauge(prefix + ".spares_used",
+                 [this] { return static_cast<double>(_sparesUsed); });
+    reg.addGauge(prefix + ".rebuilds_started", [this] {
+        return static_cast<double>(_rebuildsStarted);
+    });
+    reg.addGauge(prefix + ".rebuilds_completed", [this] {
+        return static_cast<double>(_rebuildsCompleted);
+    });
+    reg.addGauge(prefix + ".failures_waiting", [this] {
+        return static_cast<double>(pending.size());
+    });
+    reg.add(prefix + ".mttr_ms", _mttrMs);
+    // Live view of the current (or last) rebuild.
+    reg.addGauge(prefix + ".rebuild.active", [this] {
+        return rebuildActive() ? 1.0 : 0.0;
+    });
+    reg.addGauge(prefix + ".rebuild.stripes_done", [this] {
+        return _job ? static_cast<double>(_job->stripesDone()) : 0.0;
+    });
+    reg.addGauge(prefix + ".rebuild.stripes_total", [this] {
+        return _job ? static_cast<double>(_job->stripesTotal()) : 0.0;
+    });
+    reg.addGauge(prefix + ".rebuild.duration_ms", [this] {
+        return _job ? _job->durationMs() : 0.0;
+    });
+    reg.addGauge(prefix + ".rebuild.stripes_per_sec", [this] {
+        return _job ? _job->stripesPerSec() : 0.0;
+    });
+}
+
+} // namespace raid2::fault

@@ -1,0 +1,186 @@
+#include "fault/scrubber.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+#include "sim/trace_sink.hh"
+#include "xbus/parity_engine.hh"
+
+namespace raid2::fault {
+
+Scrubber::Scrubber(sim::EventQueue &eq_, std::string name,
+                   raid::SimArray &array_, FaultController &faults_,
+                   const Config &cfg_)
+    : eq(eq_), _name(std::move(name)), array(array_), faults(faults_),
+      cfg(cfg_)
+{
+    const auto &layout = array.layout();
+    sweepBytes = layout.numStripes() * layout.unitBytes();
+    if (cfg.chunkBytes == 0)
+        sim::panic("Scrubber %s: zero chunk size", _name.c_str());
+}
+
+void
+Scrubber::start()
+{
+    if (_running)
+        return;
+    _running = true;
+    if (!chunkInFlight)
+        step();
+}
+
+void
+Scrubber::stop()
+{
+    _running = false;
+    if (wakeup != sim::EventQueue::invalidEvent) {
+        eq.cancel(wakeup);
+        wakeup = sim::EventQueue::invalidEvent;
+    }
+}
+
+void
+Scrubber::scheduleNext(sim::Tick delay)
+{
+    wakeup = eq.scheduleIn(delay, [this] {
+        wakeup = sim::EventQueue::invalidEvent;
+        step();
+    });
+}
+
+void
+Scrubber::advanceCursor(std::uint64_t len)
+{
+    curOff += len;
+    if (curOff >= sweepBytes) {
+        curOff = 0;
+        ++curDisk;
+        if (curDisk >= array.numDisks()) {
+            curDisk = 0;
+            ++_sweeps;
+        }
+    }
+}
+
+void
+Scrubber::step()
+{
+    if (!_running)
+        return;
+    if (cfg.pauseWhileDegraded && array.degraded()) {
+        scheduleNext(std::max(cfg.interChunkDelay, sim::msToTicks(5)));
+        return;
+    }
+    // Failed disks have nothing to verify; move past them.
+    unsigned skipped = 0;
+    while (array.isFailed(curDisk)) {
+        curOff = 0;
+        curDisk = (curDisk + 1) % array.numDisks();
+        if (++skipped >= array.numDisks()) {
+            // Whole array failed; retry later.
+            scheduleNext(std::max(cfg.interChunkDelay,
+                                  sim::msToTicks(5)));
+            return;
+        }
+    }
+    const unsigned d = curDisk;
+    const std::uint64_t off = curOff;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cfg.chunkBytes, sweepBytes - off);
+    chunkInFlight = true;
+    array.rawDiskRead(d, off, len,
+                      [this, d, off, len] { finishChunk(d, off, len); });
+}
+
+void
+Scrubber::finishChunk(unsigned d, std::uint64_t off, std::uint64_t len)
+{
+    ++_chunksScanned;
+    _bytesScanned += len;
+    advanceCursor(len);
+
+    const bool damaged = faults.hasLatent(d, off, len);
+    // Repair needs full redundancy: skip while degraded (the latent
+    // stays in the map; a later sweep retries) and on RAID-0 (nothing
+    // to repair from).
+    const bool repairable =
+        damaged && !array.degraded() && !array.isFailed(d) &&
+        array.layout().level() != raid::RaidLevel::Raid0;
+    if (repairable) {
+        repairChunk(d, off, len);
+        return;
+    }
+    chunkInFlight = false;
+    if (_running)
+        scheduleNext(cfg.interChunkDelay);
+}
+
+void
+Scrubber::repairChunk(unsigned d, std::uint64_t off, std::uint64_t len)
+{
+    const sim::Tick started = eq.now();
+    auto writeback = [this, d, off, len, started] {
+        array.rawDiskWrite(d, off, len, [this, d, off, len, started] {
+            faults.repairedLatent(d, off, len, true);
+            ++_rangesRepaired;
+            _repairedBytes += len;
+            if (auto *t = eq.tracer())
+                t->complete(_name, "scrub_repair", started, eq.now(),
+                            len);
+            chunkInFlight = false;
+            if (_running)
+                scheduleNext(cfg.interChunkDelay);
+        });
+    };
+
+    const raid::RaidLevel level = array.layout().level();
+    if (level == raid::RaidLevel::Raid1) {
+        const unsigned half = array.layout().numDisks() / 2;
+        const unsigned partner =
+            d < half ? array.layout().mirrorDisk(d) : d - half;
+        array.rawDiskRead(partner, off, len, std::move(writeback));
+        return;
+    }
+    // Parity levels: the chunk is reconstructed from every survivor
+    // plus an XOR pass through the board's parity engine.
+    const unsigned n = array.numDisks();
+    auto remaining = std::make_shared<unsigned>(n - 1);
+    auto wb = std::make_shared<std::function<void()>>(
+        std::move(writeback));
+    for (unsigned s = 0; s < n; ++s) {
+        if (s == d)
+            continue;
+        array.rawDiskRead(s, off, len, [this, remaining, wb, len, n] {
+            if (--*remaining > 0)
+                return;
+            array.board().parity().pass(len * (n - 1), len,
+                                        [wb] { (*wb)(); });
+        });
+    }
+}
+
+void
+Scrubber::registerStats(sim::StatsRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".running",
+                 [this] { return _running ? 1.0 : 0.0; });
+    reg.addGauge(prefix + ".sweeps_completed",
+                 [this] { return static_cast<double>(_sweeps); });
+    reg.addGauge(prefix + ".chunks_scanned", [this] {
+        return static_cast<double>(_chunksScanned);
+    });
+    reg.addGauge(prefix + ".bytes_scanned", [this] {
+        return static_cast<double>(_bytesScanned);
+    });
+    reg.addGauge(prefix + ".ranges_repaired", [this] {
+        return static_cast<double>(_rangesRepaired);
+    });
+    reg.addGauge(prefix + ".repaired_bytes", [this] {
+        return static_cast<double>(_repairedBytes);
+    });
+}
+
+} // namespace raid2::fault

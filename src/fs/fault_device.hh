@@ -47,8 +47,15 @@ class FaultDevice : public BlockDevice
      *  old, half new garbage). */
     void setTearOnCrash(bool tear) { tearOnCrash = tear; }
 
-    /** Clear the fault: writes flow again (a "repaired" device). */
-    void heal() { limit = std::numeric_limits<std::uint64_t>::max(); }
+    /** Clear the fault: writes flow again (a "repaired" device).  All
+     *  crash state resets so a healed device can be crashed again —
+     *  the tear fires once per crash, not once per device lifetime. */
+    void heal()
+    {
+        limit = std::numeric_limits<std::uint64_t>::max();
+        tearDone = false;
+        dropped = 0;
+    }
 
     bool crashed() const { return limit == 0; }
     std::uint64_t droppedWrites() const { return dropped; }

@@ -16,10 +16,36 @@ HippiChannel::HippiChannel(sim::EventQueue &eq_, std::string name,
 }
 
 void
+HippiChannel::injectLinkDown(sim::Tick duration)
+{
+    const sim::Tick until = eq.now() + duration;
+    ++_linkDrops;
+    _downTicks += duration;
+    if (until > downUntil)
+        downUntil = until;
+    if (auto *t = eq.tracer())
+        t->complete(_name, "link_down", eq.now(), until, 0);
+}
+
+void
 HippiChannel::send(std::uint64_t bytes, std::vector<sim::Stage> pre,
                    std::vector<sim::Stage> post,
                    std::function<void()> done)
 {
+    if (eq.now() < downUntil) {
+        // Link is down: hold the packet and retry the connection when
+        // the link recovers.  Re-entering send() re-checks downUntil,
+        // so a drop extended meanwhile just defers again.
+        ++_deferredSends;
+        eq.schedule(downUntil,
+                    [this, bytes, pre = std::move(pre),
+                     post = std::move(post), done = std::move(done)]() mutable {
+                        send(bytes, std::move(pre), std::move(post),
+                             std::move(done));
+                    });
+        return;
+    }
+
     ++_packets;
     _bytes += bytes;
 
@@ -56,20 +82,26 @@ HippiChannel::registerStats(sim::StatsRegistry &reg,
                  [this] { return static_cast<double>(_packets); });
     reg.addGauge(prefix + ".bytes",
                  [this] { return static_cast<double>(_bytes); });
+    reg.addGauge(prefix + ".link_drops",
+                 [this] { return static_cast<double>(_linkDrops); });
+    reg.addGauge(prefix + ".deferred_sends",
+                 [this] { return static_cast<double>(_deferredSends); });
+    reg.addGauge(prefix + ".down_ms",
+                 [this] { return sim::ticksToMs(_downTicks); });
 }
 
 HippiLoopback::HippiLoopback(sim::EventQueue &eq, xbus::XbusBoard &board_)
     : board(board_),
-      channel(eq, board_.name() + ".hippiloop", board_.hippiSrcPort(),
-              board_.hippiDstPort())
+      _channel(eq, board_.name() + ".hippiloop", board_.hippiSrcPort(),
+               board_.hippiDstPort())
 {
 }
 
 void
 HippiLoopback::transfer(std::uint64_t bytes, std::function<void()> done)
 {
-    channel.send(bytes, {sim::Stage(board.memory())},
-                 {sim::Stage(board.memory())}, std::move(done));
+    _channel.send(bytes, {sim::Stage(board.memory())},
+                  {sim::Stage(board.memory())}, std::move(done));
 }
 
 } // namespace raid2::net

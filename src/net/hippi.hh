@@ -44,9 +44,23 @@ class HippiChannel
     void send(std::uint64_t bytes, std::vector<sim::Stage> pre,
               std::vector<sim::Stage> post, std::function<void()> done);
 
+    /**
+     * Fault-injection hook: the link drops for @p duration ticks.
+     * Packets submitted while the link is down are held and re-issued
+     * when it comes back (HIPPI is connection-oriented; the sender
+     * retries the connection request).  Overlapping drops extend.
+     */
+    void injectLinkDown(sim::Tick duration);
+
+    /** True while the link is down. */
+    bool linkDown() const { return eq.now() < downUntil; }
+
     /** Packets sent so far. */
     std::uint64_t packets() const { return _packets; }
     std::uint64_t bytesSent() const { return _bytes; }
+    std::uint64_t linkDrops() const { return _linkDrops; }
+    std::uint64_t deferredSends() const { return _deferredSends; }
+    sim::Tick downTicks() const { return _downTicks; }
 
     const std::string &name() const { return _name; }
 
@@ -60,8 +74,12 @@ class HippiChannel
     sim::Service &srcPort;
     sim::Service &dstPort;
     sim::Tick setup;
+    sim::Tick downUntil = 0;
     std::uint64_t _packets = 0;
     std::uint64_t _bytes = 0;
+    std::uint64_t _linkDrops = 0;
+    std::uint64_t _deferredSends = 0;
+    sim::Tick _downTicks = 0;
 };
 
 /**
@@ -77,9 +95,12 @@ class HippiLoopback
     /** XBUS memory -> HIPPI src -> HIPPI dst -> XBUS memory. */
     void transfer(std::uint64_t bytes, std::function<void()> done);
 
+    /** The underlying channel (e.g. for fault injection). */
+    HippiChannel &channel() { return _channel; }
+
   private:
     xbus::XbusBoard &board;
-    HippiChannel channel;
+    HippiChannel _channel;
 };
 
 } // namespace raid2::net

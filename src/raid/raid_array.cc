@@ -11,8 +11,16 @@ namespace raid2::raid {
 RaidArray::RaidArray(const LayoutConfig &cfg, std::uint64_t disk_bytes)
     : _layout(cfg, disk_bytes), diskBytes(disk_bytes),
       disks(cfg.numDisks, std::vector<std::uint8_t>(disk_bytes, 0)),
-      failed(cfg.numDisks, false)
+      failed(cfg.numDisks, false), latents(cfg.numDisks)
 {
+}
+
+/** Mirror partner of @p d, valid for either half of the array. */
+static unsigned
+mirrorPartnerOf(const RaidLayout &layout, unsigned d)
+{
+    const unsigned half = layout.numDisks() / 2;
+    return d < half ? layout.mirrorDisk(d) : d - half;
 }
 
 unsigned
@@ -60,18 +68,27 @@ RaidArray::write(std::uint64_t off, std::span<const std::uint8_t> data)
     const RaidLevel level = _layout.level();
 
     if (level == RaidLevel::Raid3) {
+        const std::uint64_t row_bytes = _layout.stripeDataBytes();
+        const std::uint64_t r0 = off / row_bytes;
+        const std::uint64_t r1 = (off + data.size() - 1) / row_bytes;
+        for (std::uint64_t r = r0; r <= r1; ++r)
+            prepareStripeForUpdate(r);
         for (std::uint64_t i = 0; i < data.size(); ++i) {
             unsigned d;
             std::uint64_t db;
             _layout.mapByte(off + i, d, db);
             disks[d][db] = data[i];
         }
-        const std::uint64_t row_bytes = _layout.stripeDataBytes();
-        const std::uint64_t r0 = off / row_bytes;
-        const std::uint64_t r1 = (off + data.size() - 1) / row_bytes;
         for (std::uint64_t r = r0; r <= r1; ++r)
             recomputeParity(r);
         return;
+    }
+
+    if (level == RaidLevel::Raid5) {
+        const std::uint64_t s0 = _layout.stripeOf(off);
+        const std::uint64_t s1 = _layout.stripeOf(off + data.size() - 1);
+        for (std::uint64_t s = s0; s <= s1; ++s)
+            prepareStripeForUpdate(s);
     }
 
     for (const DiskExtent &e :
@@ -83,6 +100,11 @@ RaidArray::write(std::uint64_t off, std::span<const std::uint8_t> data)
             const unsigned m = _layout.mirrorDisk(e.disk);
             std::memcpy(disks[m].data() + e.diskOffset, src,
                         static_cast<std::size_t>(e.bytes));
+            // Overwriting a latent sector rewrites (remaps) it.
+            eraseLatentRange(e.disk, e.diskOffset, e.bytes);
+            eraseLatentRange(m, e.diskOffset, e.bytes);
+        } else if (level == RaidLevel::Raid0) {
+            eraseLatentRange(e.disk, e.diskOffset, e.bytes);
         }
     }
 
@@ -91,6 +113,31 @@ RaidArray::write(std::uint64_t off, std::span<const std::uint8_t> data)
         const std::uint64_t s1 = _layout.stripeOf(off + data.size() - 1);
         for (std::uint64_t s = s0; s <= s1; ++s)
             recomputeParity(s);
+    }
+}
+
+void
+RaidArray::prepareStripeForUpdate(std::uint64_t s)
+{
+    const std::uint64_t unit = _layout.unitBytes();
+    const std::uint64_t base = s * unit;
+    // Parity is rewritten wholesale by recomputeParity, which heals
+    // any latent defect there without reconstruction.
+    eraseLatentRange(_layout.parityDisk(s), base, unit);
+    for (unsigned k = 0; k < _layout.dataUnitsPerStripe(); ++k) {
+        const unsigned d = _layout.dataDisk(s, k);
+        if (failed[d]) {
+            // Reconstruct the dead unit's pre-write content into its
+            // buffer so the parity recompute re-encodes the bytes the
+            // write does not touch.  Without this, a degraded
+            // partial-stripe write would fold the destroyed buffer
+            // into parity and lose the untouched region of the unit.
+            reconstructRange(d, base,
+                             {disks[d].data() + base,
+                              static_cast<std::size_t>(unit)});
+        } else {
+            repairLatentIn(d, base, unit);
+        }
     }
 }
 
@@ -107,7 +154,58 @@ RaidArray::reconstructRange(unsigned dead, std::uint64_t disk_off,
         if (failed[d])
             sim::fatal("RaidArray: double failure (disks %u and %u)", dead,
                        d);
+        if (latentOverlaps(d, disk_off, out.size()))
+            sim::fatal("RaidArray: range [%llu, +%zu) of disk %u is "
+                       "unrecoverable: survivor %u has a latent error there",
+                       (unsigned long long)disk_off, out.size(), dead, d);
         xorInto(out.data(), disks[d].data() + disk_off, out.size());
+    }
+}
+
+void
+RaidArray::readDiskRange(unsigned d, std::uint64_t off,
+                         std::span<std::uint8_t> out) const
+{
+    const auto &lm = latents[d];
+    const std::uint64_t end = off + out.size();
+    std::uint64_t pos = off;
+    while (pos < end) {
+        // Does a latent interval cover pos?
+        std::uint64_t lat_until = 0;
+        auto it = lm.upper_bound(pos);
+        if (it != lm.begin()) {
+            const auto prev = std::prev(it);
+            if (prev->first + prev->second > pos)
+                lat_until = std::min(end, prev->first + prev->second);
+        }
+        if (lat_until > pos) {
+            const std::size_t n =
+                static_cast<std::size_t>(lat_until - pos);
+            std::span<std::uint8_t> sub{out.data() + (pos - off), n};
+            const RaidLevel level = _layout.level();
+            if (level == RaidLevel::Raid1) {
+                const unsigned m = mirrorPartnerOf(_layout, d);
+                if (failed[m] || latentOverlaps(m, pos, n))
+                    sim::fatal("RaidArray: latent range on disk %u "
+                               "unrecoverable (mirror %u unusable)", d, m);
+                std::memcpy(sub.data(), disks[m].data() + pos, n);
+            } else if (level == RaidLevel::Raid0) {
+                sim::fatal("RaidArray: RAID-0 cannot recover latent range "
+                           "on disk %u", d);
+            } else {
+                reconstructRange(d, pos, sub);
+            }
+            _latentReconstructedBytes += n;
+            pos = lat_until;
+            continue;
+        }
+        // Clean up to the next latent interval (or the end).
+        std::uint64_t clean_until = end;
+        if (it != lm.end() && it->first < end)
+            clean_until = it->first;
+        std::memcpy(out.data() + (pos - off), disks[d].data() + pos,
+                    static_cast<std::size_t>(clean_until - pos));
+        pos = clean_until;
     }
 }
 
@@ -123,12 +221,14 @@ RaidArray::read(std::uint64_t off, std::span<std::uint8_t> out) const
             unsigned d;
             std::uint64_t db;
             _layout.mapByte(off + i, d, db);
-            if (!failed[d]) {
+            if (!failed[d] && !latentOverlaps(d, db, 1)) {
                 out[i] = disks[d][db];
             } else {
                 std::uint8_t byte = 0;
                 reconstructRange(d, db, {&byte, 1});
                 out[i] = byte;
+                if (!failed[d])
+                    ++_latentReconstructedBytes;
             }
         }
         return;
@@ -153,8 +253,8 @@ RaidArray::read(std::uint64_t off, std::span<std::uint8_t> out) const
                            e.disk);
             }
         }
-        std::memcpy(dst, disks[src_disk].data() + e.diskOffset,
-                    static_cast<std::size_t>(e.bytes));
+        readDiskRange(src_disk, e.diskOffset,
+                      {dst, static_cast<std::size_t>(e.bytes)});
     }
 }
 
@@ -165,6 +265,179 @@ RaidArray::failDisk(unsigned d)
         sim::panic("failDisk: bad disk %u", d);
     failed[d] = true;
     std::fill(disks[d].begin(), disks[d].end(), 0xde);
+    // The whole disk is gone; its latent defects go with it.
+    latents[d].clear();
+}
+
+void
+RaidArray::injectLatent(unsigned d, std::uint64_t off, std::uint64_t bytes)
+{
+    if (d >= disks.size())
+        sim::panic("injectLatent: bad disk %u", d);
+    if (off + bytes > diskBytes)
+        sim::panic("injectLatent: range [%llu, +%llu) beyond disk",
+                   (unsigned long long)off, (unsigned long long)bytes);
+    if (bytes == 0 || failed[d])
+        return;
+
+    // Garble in place with a position-based pattern (idempotent, so
+    // re-injecting an overlapping range is harmless).  The redundancy
+    // still encodes the original bytes; only this copy is damaged.
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        const std::uint64_t p = off + i;
+        disks[d][p] = static_cast<std::uint8_t>(0xb5 ^ p ^ (p >> 8));
+    }
+
+    // Merge into the interval map.
+    std::uint64_t s = off, e = off + bytes;
+    auto &lm = latents[d];
+    auto it = lm.upper_bound(s);
+    if (it != lm.begin())
+        --it;
+    while (it != lm.end() && it->first <= e) {
+        const std::uint64_t iend = it->first + it->second;
+        if (iend < s) {
+            ++it;
+            continue;
+        }
+        s = std::min(s, it->first);
+        e = std::max(e, iend);
+        it = lm.erase(it);
+    }
+    lm.emplace(s, e - s);
+    ++_latentsInjected;
+}
+
+bool
+RaidArray::latentOverlaps(unsigned d, std::uint64_t off,
+                          std::uint64_t bytes) const
+{
+    const auto &lm = latents.at(d);
+    if (lm.empty() || bytes == 0)
+        return false;
+    auto it = lm.upper_bound(off);
+    if (it != lm.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->first + prev->second > off)
+            return true;
+    }
+    return it != lm.end() && it->first < off + bytes;
+}
+
+bool
+RaidArray::latentCollision(unsigned d, std::uint64_t off,
+                           std::uint64_t bytes) const
+{
+    for (unsigned o = 0; o < disks.size(); ++o) {
+        if (o != d && latentOverlaps(o, off, bytes))
+            return true;
+    }
+    return false;
+}
+
+void
+RaidArray::repairLatent(unsigned d, std::uint64_t off, std::uint64_t bytes)
+{
+    if (d >= disks.size())
+        sim::panic("repairLatent: bad disk %u", d);
+    if (bytes == 0)
+        return;
+    if (failed[d])
+        sim::panic("repairLatent: disk %u is failed", d);
+
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(bytes));
+    const RaidLevel level = _layout.level();
+    if (level == RaidLevel::Raid1) {
+        const unsigned m = mirrorPartnerOf(_layout, d);
+        if (failed[m] || latentOverlaps(m, off, bytes))
+            sim::fatal("repairLatent: latent range on disk %u "
+                       "unrecoverable (mirror %u unusable)", d, m);
+        std::memcpy(buf.data(), disks[m].data() + off, buf.size());
+    } else if (level == RaidLevel::Raid0) {
+        sim::fatal("repairLatent: RAID-0 has no redundancy");
+    } else {
+        reconstructRange(d, off, {buf.data(), buf.size()});
+    }
+    std::memcpy(disks[d].data() + off, buf.data(), buf.size());
+    eraseLatentRange(d, off, bytes);
+    ++_latentRepairs;
+}
+
+void
+RaidArray::repairLatentIn(unsigned d, std::uint64_t off, std::uint64_t bytes)
+{
+    const std::uint64_t end = off + bytes;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> todo;
+    for (const auto &[s, len] : latents[d]) {
+        const std::uint64_t e = s + len;
+        if (e <= off || s >= end)
+            continue;
+        const std::uint64_t cs = std::max(s, off);
+        todo.emplace_back(cs, std::min(e, end) - cs);
+    }
+    for (const auto &[s, len] : todo)
+        repairLatent(d, s, len);
+}
+
+void
+RaidArray::eraseLatentRange(unsigned d, std::uint64_t off,
+                            std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    auto &lm = latents[d];
+    const std::uint64_t end = off + bytes;
+    auto it = lm.upper_bound(off);
+    if (it != lm.begin())
+        --it;
+    while (it != lm.end() && it->first < end) {
+        const std::uint64_t istart = it->first;
+        const std::uint64_t iend = it->first + it->second;
+        if (iend <= off) {
+            ++it;
+            continue;
+        }
+        it = lm.erase(it);
+        if (istart < off)
+            lm.emplace(istart, off - istart);
+        if (iend > end)
+            it = lm.emplace(end, iend - end).first;
+    }
+}
+
+std::uint64_t
+RaidArray::scrub()
+{
+    std::uint64_t repaired = 0;
+    for (unsigned d = 0; d < disks.size(); ++d) {
+        if (failed[d])
+            continue;
+        const auto todo = latents[d]; // copy: repairLatent mutates
+        for (const auto &[s, len] : todo) {
+            repairLatent(d, s, len);
+            ++repaired;
+        }
+    }
+    return repaired;
+}
+
+std::uint64_t
+RaidArray::latentCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &lm : latents)
+        n += lm.size();
+    return n;
+}
+
+std::uint64_t
+RaidArray::latentBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &lm : latents)
+        for (const auto &[s, len] : lm)
+            n += len;
+    return n;
 }
 
 void

@@ -13,6 +13,7 @@
 #define RAID2_RAID_RAID_ARRAY_HH
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,54 @@ class RaidArray
     bool isFailed(unsigned d) const { return failed.at(d); }
     unsigned failedCount() const;
 
+    /** @{ Latent (unreadable) media errors.
+     *
+     * A latent range models a grown media defect: the stored bytes are
+     * garbled in place, and reads route around them by reconstructing
+     * from redundancy (parity for levels 3/5, the mirror for level 1).
+     * The redundancy still encodes the original data, so reconstruction
+     * recovers it exactly; repairLatent() writes it back and clears the
+     * defect, which is what the scrubber does in bulk.
+     *
+     * Recoverability invariant (enforced with fatal errors, maintained
+     * by fault::FaultController): latent ranges on different disks
+     * never overlap in disk-offset space, and no latents exist while a
+     * disk is failed.  Either condition would make the range
+     * unrecoverable — a data-loss event, which the controller accounts
+     * for instead of injecting.
+     */
+    /** Garble @p bytes at disk offset @p off of disk @p d. */
+    void injectLatent(unsigned d, std::uint64_t off, std::uint64_t bytes);
+    /** True if disk @p d has a latent range intersecting [off, off+bytes). */
+    bool latentOverlaps(unsigned d, std::uint64_t off,
+                        std::uint64_t bytes) const;
+    /** True if any disk other than @p d has a latent range intersecting
+     *  [off, off+bytes) — i.e. reconstructing @p d there would fail. */
+    bool latentCollision(unsigned d, std::uint64_t off,
+                         std::uint64_t bytes) const;
+    /** Reconstruct the latent range from redundancy, write it back, and
+     *  clear the defect. */
+    void repairLatent(unsigned d, std::uint64_t off, std::uint64_t bytes);
+    /** Repair every outstanding latent range.  @return ranges repaired. */
+    std::uint64_t scrub();
+    /** Outstanding latent ranges / bytes across all disks. */
+    std::uint64_t latentCount() const;
+    std::uint64_t latentBytes() const;
+    const std::map<std::uint64_t, std::uint64_t> &
+    latentIntervals(unsigned d) const
+    {
+        return latents.at(d);
+    }
+    /** @{ Cumulative counters (reads served via reconstruction, repairs). */
+    std::uint64_t latentReconstructedBytes() const
+    {
+        return _latentReconstructedBytes;
+    }
+    std::uint64_t latentRepairs() const { return _latentRepairs; }
+    std::uint64_t latentsInjected() const { return _latentsInjected; }
+    /** @} */
+    /** @} */
+
     /** True if every stripe's parity equals the XOR of its data (and
      *  every mirror pair matches).  Levels 0 trivially true. */
     bool redundancyConsistent() const;
@@ -58,11 +107,29 @@ class RaidArray
     void recomputeParity(std::uint64_t stripe);
     void reconstructRange(unsigned dead, std::uint64_t disk_off,
                           std::span<std::uint8_t> out) const;
+    /** Copy [off, off+out.size()) of disk @p d into @p out, routing
+     *  latent subranges through reconstruction. */
+    void readDiskRange(unsigned d, std::uint64_t off,
+                       std::span<std::uint8_t> out) const;
+    /** Make stripe @p s safe to recompute parity over: repair latent
+     *  ranges in its units and, if a data unit sits on a failed disk,
+     *  reconstruct that unit's content into the dead buffer first. */
+    void prepareStripeForUpdate(std::uint64_t s);
+    /** Repair the portions of d's latent ranges inside [off, off+bytes). */
+    void repairLatentIn(unsigned d, std::uint64_t off, std::uint64_t bytes);
+    /** Forget (without repairing) latent state in [off, off+bytes). */
+    void eraseLatentRange(unsigned d, std::uint64_t off,
+                          std::uint64_t bytes);
 
     RaidLayout _layout;
     std::uint64_t diskBytes;
     std::vector<std::vector<std::uint8_t>> disks;
     std::vector<bool> failed;
+    /** Per-disk latent ranges: start offset -> length, non-overlapping. */
+    std::vector<std::map<std::uint64_t, std::uint64_t>> latents;
+    mutable std::uint64_t _latentReconstructedBytes = 0;
+    std::uint64_t _latentRepairs = 0;
+    std::uint64_t _latentsInjected = 0;
 };
 
 } // namespace raid2::raid

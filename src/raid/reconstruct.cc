@@ -1,13 +1,15 @@
 #include "raid/reconstruct.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::raid {
 
 RebuildJob::RebuildJob(sim::EventQueue &eq_, SimArray &array_,
-                       unsigned dead_, unsigned window_)
+                       unsigned dead_, unsigned window_,
+                       sim::Tick inter_stripe_delay)
     : eq(eq_), array(array_), dead(dead_), window(window_),
-      total(array_.layout().numStripes())
+      delay(inter_stripe_delay), total(array_.layout().numStripes())
 {
     if (!array.isFailed(dead))
         sim::fatal("RebuildJob: disk %u is not failed", dead);
@@ -19,15 +21,49 @@ void
 RebuildJob::start(std::function<void()> done_)
 {
     done = std::move(done_);
+    _startTick = eq.now();
     pump();
+}
+
+double
+RebuildJob::durationMs() const
+{
+    const sim::Tick end = _finished ? _endTick : eq.now();
+    return sim::ticksToMs(end - _startTick);
+}
+
+double
+RebuildJob::stripesPerSec() const
+{
+    const double sec = durationMs() / 1e3;
+    return sec > 0 ? static_cast<double>(_stripesDone) / sec : 0.0;
 }
 
 void
 RebuildJob::pump()
 {
-    while (inFlight < window && next < total)
+    while (inFlight < window && next < total) {
+        if (delay > 0) {
+            const sim::Tick now = eq.now();
+            if (now < nextLaunchAt) {
+                // Throttled: resume when the spacing allows the next
+                // launch.  One wakeup at a time; pump re-checks.
+                if (!wakeupPending) {
+                    wakeupPending = true;
+                    eq.schedule(nextLaunchAt, [this] {
+                        wakeupPending = false;
+                        pump();
+                    });
+                }
+                break;
+            }
+            nextLaunchAt = now + delay;
+        }
         rebuildStripe(next++);
-    if (inFlight == 0 && next == total) {
+    }
+    if (inFlight == 0 && next == total && !_finished) {
+        _finished = true;
+        _endTick = eq.now();
         array.restoreDisk(dead);
         if (done)
             done();
@@ -62,6 +98,22 @@ RebuildJob::rebuildStripe(std::uint64_t stripe)
             sim::fatal("RebuildJob: second failure on disk %u", d);
         array.rawDiskRead(d, base, unit, on_read);
     }
+}
+
+void
+RebuildJob::registerStats(sim::StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".stripes_done",
+                 [this] { return static_cast<double>(_stripesDone); });
+    reg.addGauge(prefix + ".stripes_total",
+                 [this] { return static_cast<double>(total); });
+    reg.addGauge(prefix + ".finished",
+                 [this] { return _finished ? 1.0 : 0.0; });
+    reg.addGauge(prefix + ".duration_ms",
+                 [this] { return durationMs(); });
+    reg.addGauge(prefix + ".stripes_per_sec",
+                 [this] { return stripesPerSec(); });
 }
 
 } // namespace raid2::raid

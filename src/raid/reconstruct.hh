@@ -5,8 +5,11 @@
  * Sweeps the array stripe by stripe: read the surviving units, run a
  * parity pass, write the result to the replacement drive.  A window of
  * concurrent stripes keeps the datapath busy while bounding XBUS
- * buffer use.  (Reliability policy itself is out of the paper's scope
- * — "Techniques for maximizing reliability are beyond the scope of
+ * buffer use, and an optional inter-stripe delay throttles the sweep
+ * so foreground traffic keeps a share of the datapath — the classic
+ * rebuild-rate vs. MTTR trade (Thomasian, arXiv:1801.08873).
+ * (Reliability policy itself is out of the paper's scope —
+ * "Techniques for maximizing reliability are beyond the scope of
  * this paper" §2.3 — but degraded operation is needed by the examples
  * and the RAID-3-vs-5 comparison of §4.2.)
  */
@@ -16,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "raid/sim_array.hh"
 
@@ -29,15 +33,34 @@ class RebuildJob
      * @param array   degraded array (disk @p dead must be failed)
      * @param dead    the disk being rebuilt in place
      * @param window  concurrent stripes in flight
+     * @param inter_stripe_delay  minimum tick spacing between stripe
+     *                launches (0 = rebuild at full datapath speed)
      */
     RebuildJob(sim::EventQueue &eq, SimArray &array, unsigned dead,
-               unsigned window = 4);
+               unsigned window = 4, sim::Tick inter_stripe_delay = 0);
 
     /** Begin; @p done fires when the last stripe is written. */
     void start(std::function<void()> done);
 
     std::uint64_t stripesDone() const { return _stripesDone; }
     std::uint64_t stripesTotal() const { return total; }
+    bool finished() const { return _finished; }
+    unsigned deadDisk() const { return dead; }
+    sim::Tick interStripeDelay() const { return delay; }
+
+    /** @{ Timing, valid once start() has run (live values while the
+     *  rebuild is still in flight). */
+    sim::Tick startTick() const { return _startTick; }
+    sim::Tick endTick() const { return _endTick; }
+    /** Wall-clock of the rebuild so far (total once finished), ms. */
+    double durationMs() const;
+    /** Average rebuild rate in stripes per simulated second. */
+    double stripesPerSec() const;
+    /** @} */
+
+    /** Register progress/timing under @p prefix (e.g. "rebuild"). */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     void pump();
@@ -47,10 +70,18 @@ class RebuildJob
     SimArray &array;
     unsigned dead;
     unsigned window;
+    sim::Tick delay;
     std::uint64_t next = 0;
     std::uint64_t total = 0;
     std::uint64_t _stripesDone = 0;
     unsigned inFlight = 0;
+    bool _finished = false;
+    /** @{ Launch pacing for the throttle. */
+    sim::Tick nextLaunchAt = 0;
+    bool wakeupPending = false;
+    /** @} */
+    sim::Tick _startTick = 0;
+    sim::Tick _endTick = 0;
     std::function<void()> done;
 };
 

@@ -140,8 +140,87 @@ SimArray::issueExtentRead(const DiskExtent &e, std::function<void()> done)
             return;
         }
     }
+    if (oracle && oracle->hasLatent(d, e.diskOffset, e.bytes)) {
+        issueLatentRepairRead(e, d, std::move(done));
+        return;
+    }
     channels[d]->read(e.diskOffset, e.bytes, readStages(d),
                       std::move(done));
+}
+
+void
+SimArray::issueLatentRepairRead(const DiskExtent &e, unsigned d,
+                                std::function<void()> done)
+{
+    const RaidLevel level = _layout->level();
+    const std::uint64_t off = e.diskOffset;
+    const std::uint64_t bytes = e.bytes;
+
+    if (level == RaidLevel::Raid0) {
+        // No redundancy: the error is reported, not repaired.  Account
+        // for it and complete (the request "fails fast").
+        ++_unrecoverableReads;
+        eq.scheduleIn(0, std::move(done));
+        return;
+    }
+
+    ++_latentRepairReads;
+    _latentRepairBytes += bytes;
+
+    auto done_ptr =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto writeback = [this, d, off, bytes, done_ptr] {
+        // Rewrite the reconstructed range in place, clearing the
+        // defect, then report the repair.
+        rawDiskWrite(d, off, bytes, [this, d, off, bytes, done_ptr] {
+            if (oracle)
+                oracle->repairedLatent(d, off, bytes, false);
+            if (*done_ptr)
+                (*done_ptr)();
+        });
+    };
+
+    // The drive itself spends a media pass discovering the error
+    // (retries, then reports unrecoverable) before recovery starts.
+    auto after_attempt = [this, d, off, bytes, level, done_ptr,
+                          writeback = std::move(writeback)]() mutable {
+        if (auto *t = eq.tracer())
+            t->complete(_name, "latent_repair", eq.now(), eq.now(), bytes);
+        if (level == RaidLevel::Raid1) {
+            const unsigned half = _layout->numDisks() / 2;
+            const unsigned m =
+                d < half ? _layout->mirrorDisk(d) : d - half;
+            if (failedDisks[m]) {
+                ++_unrecoverableReads;
+                if (*done_ptr)
+                    (*done_ptr)();
+                return;
+            }
+            channels[m]->read(off, bytes, readStages(m),
+                              std::move(writeback));
+            return;
+        }
+        // Parity levels: read the range from every survivor + XOR.
+        const unsigned n = _layout->numDisks();
+        auto remaining = std::make_shared<unsigned>(n - 1);
+        auto wb_ptr = std::make_shared<std::function<void()>>(
+            std::move(writeback));
+        auto on_read = [this, remaining, wb_ptr, bytes, n] {
+            if (--*remaining > 0)
+                return;
+            _board.parity().pass(bytes * (n - 1), bytes,
+                                 [wb_ptr] { (*wb_ptr)(); });
+        };
+        for (unsigned s = 0; s < n; ++s) {
+            if (s == d)
+                continue;
+            if (failedDisks[s])
+                sim::fatal("SimArray %s: latent repair on disk %u with "
+                           "disk %u failed", _name.c_str(), d, s);
+            channels[s]->read(off, bytes, readStages(s), on_read);
+        }
+    };
+    disks[d]->submitBytes(off, bytes, false, std::move(after_attempt));
 }
 
 void
@@ -168,6 +247,8 @@ SimArray::issueDegradedRead(const DiskExtent &e,
                    _name.c_str(), e.disk,
                    raidLevelName(_layout->level()));
     }
+    ++_degradedReads;
+    _degradedBytes += e.bytes;
     // Read the same disk-offset range from every survivor, then XOR.
     const unsigned n = _layout->numDisks();
     auto remaining = std::make_shared<unsigned>(n - 1);
@@ -473,6 +554,19 @@ SimArray::registerStats(sim::StatsRegistry &reg,
                  [this] { return static_cast<double>(_rwStripes); });
     reg.addGauge(array_prefix + ".full_stripe_writes",
                  [this] { return static_cast<double>(_fullStripes); });
+    reg.addGauge(array_prefix + ".degraded_reads",
+                 [this] { return static_cast<double>(_degradedReads); });
+    reg.addGauge(array_prefix + ".degraded_bytes",
+                 [this] { return static_cast<double>(_degradedBytes); });
+    reg.addGauge(array_prefix + ".latent_repair_reads", [this] {
+        return static_cast<double>(_latentRepairReads);
+    });
+    reg.addGauge(array_prefix + ".latent_repair_bytes", [this] {
+        return static_cast<double>(_latentRepairBytes);
+    });
+    reg.addGauge(array_prefix + ".unrecoverable_reads", [this] {
+        return static_cast<double>(_unrecoverableReads);
+    });
     reg.addGauge(array_prefix + ".stripe_lock_waits", [this] {
         return static_cast<double>(_stripeLockWaits);
     });
@@ -493,6 +587,9 @@ SimArray::resetStats()
     _reads = _writes = 0;
     _bytesRead = _bytesWritten = 0;
     _rmwStripes = _rwStripes = _fullStripes = 0;
+    _degradedReads = _degradedBytes = 0;
+    _latentRepairReads = _latentRepairBytes = 0;
+    _unrecoverableReads = 0;
     _stripeLockWaits = 0;
     _readMs.reset();
     _writeMs.reset();

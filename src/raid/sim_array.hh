@@ -63,6 +63,28 @@ struct ArrayTopology
     }
 };
 
+/**
+ * Where the timing plane learns about media defects.
+ *
+ * SimArray moves no real bytes, so it cannot discover a latent sector
+ * error by reading; the fault subsystem (fault::FaultController) keeps
+ * the defect map and implements this interface.  When a timed read
+ * lands on a defective range the array runs the timed
+ * reconstruct-and-rewrite sequence and reports the repair back, which
+ * the controller mirrors into the functional plane.
+ */
+class MediaFaultOracle
+{
+  public:
+    virtual ~MediaFaultOracle() = default;
+    /** Is any byte of [off, off+bytes) on disk @p d unreadable? */
+    virtual bool hasLatent(unsigned d, std::uint64_t off,
+                           std::uint64_t bytes) const = 0;
+    /** The range was reconstructed and rewritten in place. */
+    virtual void repairedLatent(unsigned d, std::uint64_t off,
+                                std::uint64_t bytes, bool by_scrub) = 0;
+};
+
 /** Timed disk array attached to one XBUS board. */
 class SimArray
 {
@@ -95,6 +117,9 @@ class SimArray
     bool isFailed(unsigned d) const { return failedDisks.at(d); }
     bool degraded() const;
 
+    /** Attach (or detach with nullptr) the media-defect oracle. */
+    void setFaultOracle(MediaFaultOracle *o) { oracle = o; }
+
     /** @{ Raw per-disk transfers through the full bus chain (used by
      *  rebuild and by benches that bypass the RAID mapping). */
     void rawDiskRead(unsigned d, std::uint64_t disk_offset,
@@ -125,6 +150,14 @@ class SimArray
     std::uint64_t rmwStripes() const { return _rmwStripes; }
     std::uint64_t reconstructWriteStripes() const { return _rwStripes; }
     std::uint64_t fullStripeWrites() const { return _fullStripes; }
+    /** Reads served by reconstructing a failed disk from survivors. */
+    std::uint64_t degradedReads() const { return _degradedReads; }
+    std::uint64_t degradedBytes() const { return _degradedBytes; }
+    /** Reads that hit a latent defect and triggered a timed repair. */
+    std::uint64_t latentRepairReads() const { return _latentRepairReads; }
+    std::uint64_t latentRepairBytes() const { return _latentRepairBytes; }
+    /** Latent hits with no redundancy left to repair from. */
+    std::uint64_t unrecoverableReads() const { return _unrecoverableReads; }
     /** Writes that had to queue behind a stripe lock. */
     std::uint64_t stripeLockWaits() const { return _stripeLockWaits; }
     /** Time writes spent queued behind stripe locks (ms). */
@@ -157,6 +190,11 @@ class SimArray
     void issueDegradedRead(const DiskExtent &e,
                            std::function<void()> done);
 
+    /** A read of disk @p d hit a latent defect: run the timed
+     *  reconstruct-and-rewrite sequence, then notify the oracle. */
+    void issueLatentRepairRead(const DiskExtent &e, unsigned d,
+                               std::function<void()> done);
+
     /** Plan and run the write of one stripe span (RAID-5), holding
      *  the stripe lock. */
     void writeStripeRaid5(const StripeSpan &s,
@@ -184,6 +222,7 @@ class SimArray
     std::vector<std::unique_ptr<scsi::CougarController>> cougars;
     std::vector<std::unique_ptr<scsi::DiskChannel>> channels;
     std::vector<bool> failedDisks;
+    MediaFaultOracle *oracle = nullptr;
 
     /** Stripes with a write in flight -> queued waiters. */
     std::unordered_map<std::uint64_t,
@@ -194,6 +233,11 @@ class SimArray
     std::uint64_t _bytesRead = 0;
     std::uint64_t _bytesWritten = 0;
     std::uint64_t _rmwStripes = 0;
+    std::uint64_t _degradedReads = 0;
+    std::uint64_t _degradedBytes = 0;
+    std::uint64_t _latentRepairReads = 0;
+    std::uint64_t _latentRepairBytes = 0;
+    std::uint64_t _unrecoverableReads = 0;
     std::uint64_t _stripeLockWaits = 0;
     std::uint64_t _rwStripes = 0;
     std::uint64_t _fullStripes = 0;

@@ -1,13 +1,14 @@
 #include "scsi/scsi_string.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace raid2::scsi {
 
-ScsiString::ScsiString(sim::EventQueue &eq, std::string name,
+ScsiString::ScsiString(sim::EventQueue &eq_, std::string name,
                        double mb_per_sec)
-    : _name(std::move(name)),
-      _bus(eq, _name + ".bus",
+    : eq(eq_), _name(std::move(name)),
+      _bus(eq_, _name + ".bus",
            sim::Service::Config{mb_per_sec, 0, 1})
 {
 }
@@ -27,6 +28,16 @@ void
 ScsiString::chargeCommandOverhead()
 {
     _bus.submitBusyTime(cal::scsiCommandOverhead, nullptr);
+}
+
+void
+ScsiString::injectHang(sim::Tick duration)
+{
+    ++_hangs;
+    _hangTicks += duration;
+    if (auto *t = eq.tracer())
+        t->complete(_name, "hang", eq.now(), eq.now() + duration, 0);
+    _bus.submitBusyTime(duration, nullptr);
 }
 
 } // namespace raid2::scsi

@@ -23,6 +23,7 @@
 #include "config/calibration.hh"
 #include "disk/disk_model.hh"
 #include "sim/service.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::scsi {
 
@@ -43,6 +44,17 @@ class ScsiString
     /** Charge per-command arbitration/selection/reselection cost. */
     void chargeCommandOverhead();
 
+    /**
+     * Fault-injection hook: seize the bus for @p duration ticks,
+     * modeling a target hanging the string mid-handshake.  Transfers
+     * already queued behind the hang wait it out; drives themselves
+     * keep positioning (they are disconnected during seeks).
+     */
+    void injectHang(sim::Tick duration);
+
+    std::uint64_t hangs() const { return _hangs; }
+    sim::Tick hangTicks() const { return _hangTicks; }
+
     const std::vector<disk::DiskModel *> &disks() const { return _disks; }
     const std::string &name() const { return _name; }
 
@@ -51,12 +63,19 @@ class ScsiString
                        const std::string &prefix) const
     {
         _bus.registerStats(reg, prefix + ".bus");
+        reg.addGauge(prefix + ".hangs",
+                     [this] { return static_cast<double>(_hangs); });
+        reg.addGauge(prefix + ".hang_ms",
+                     [this] { return sim::ticksToMs(_hangTicks); });
     }
 
   private:
+    sim::EventQueue &eq;
     std::string _name;
     sim::Service _bus;
     std::vector<disk::DiskModel *> _disks;
+    std::uint64_t _hangs = 0;
+    sim::Tick _hangTicks = 0;
 };
 
 } // namespace raid2::scsi

@@ -23,6 +23,18 @@ Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
     fsCpu = std::make_unique<sim::Service>(
         eq, _name + ".fscpu", sim::Service::Config{0.0, 0, 1});
 
+    if (cfg.withReliability) {
+        fault::FaultController::Hooks hooks;
+        hooks.array = _array.get();
+        hooks.hippi = &_loop->channel();
+        _faults = std::make_unique<fault::FaultController>(
+            eq, _name + ".fault", hooks);
+        _recovery = std::make_unique<fault::RecoveryManager>(
+            eq, _name + ".recovery", *_array, *_faults, cfg.recovery);
+        _scrubber = std::make_unique<fault::Scrubber>(
+            eq, _name + ".scrub", *_array, *_faults, cfg.scrub);
+    }
+
     if (cfg.withFs) {
         if (cfg.fsDeviceBytes > _array->capacity())
             sim::fatal("Raid2Server %s: functional device larger than "
@@ -59,6 +71,33 @@ Raid2Server::fs()
         sim::fatal("Raid2Server %s: configured without a file system",
                    _name.c_str());
     return *_fs;
+}
+
+fault::FaultController &
+Raid2Server::faults()
+{
+    if (!_faults)
+        sim::fatal("Raid2Server %s: configured without reliability",
+                   _name.c_str());
+    return *_faults;
+}
+
+fault::RecoveryManager &
+Raid2Server::recovery()
+{
+    if (!_recovery)
+        sim::fatal("Raid2Server %s: configured without reliability",
+                   _name.c_str());
+    return *_recovery;
+}
+
+fault::Scrubber &
+Raid2Server::scrubber()
+{
+    if (!_scrubber)
+        sim::fatal("Raid2Server %s: configured without reliability",
+                   _name.c_str());
+    return *_scrubber;
 }
 
 // ---------------------------------------------------------------------
@@ -168,6 +207,11 @@ Raid2Server::registerStats(sim::StatsRegistry &reg) const
     _array->registerStats(reg, "raid", "disk", "scsi");
     _host->registerStats(reg, "host");
     _ethernet->registerStats(reg, "ether");
+    if (_faults) {
+        _faults->registerStats(reg, "fault");
+        _recovery->registerStats(reg, "recovery");
+        _scrubber->registerStats(reg, "scrub");
+    }
     fsCpu->registerStats(reg, "server.fs_cpu");
     reg.addGauge("server.segment_flushes", [this] {
         return static_cast<double>(_segmentFlushes);

@@ -23,6 +23,9 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault_controller.hh"
+#include "fault/recovery_manager.hh"
+#include "fault/scrubber.hh"
 #include "fs/block_device.hh"
 #include "fs/mem_block_device.hh"
 #include "host/host_workstation.hh"
@@ -71,6 +74,16 @@ class Raid2Server
          *  writes are stable (ack only after the log reaches disk). */
         std::uint64_t nvramBytes = 0;
 
+        /** @{ Reliability subsystem.  When set, the server owns a
+         *  fault::FaultController wired to the array and the HIPPI
+         *  loop, a RecoveryManager that auto-rebuilds onto hot spares,
+         *  and a media Scrubber (the caller starts it and the fault
+         *  plan).  Off by default: a fault-free server pays nothing. */
+        bool withReliability = false;
+        fault::RecoveryManager::Config recovery;
+        fault::Scrubber::Config scrub;
+        /** @} */
+
         Config()
         {
             layout.level = raid::RaidLevel::Raid5;
@@ -89,6 +102,12 @@ class Raid2Server
     lfs::Lfs &fs();
     sim::EventQueue &eventQueue() { return eq; }
     const Config &config() const { return cfg; }
+    /** @{ Reliability subsystem (Config::withReliability only). */
+    fault::FaultController &faults();
+    fault::RecoveryManager &recovery();
+    fault::Scrubber &scrubber();
+    bool hasReliability() const { return _faults != nullptr; }
+    /** @} */
     /** @} */
 
     // -----------------------------------------------------------------
@@ -187,6 +206,14 @@ class Raid2Server
     std::unique_ptr<host::HostWorkstation> _host;
     std::unique_ptr<net::EthernetLink> _ethernet;
     std::unique_ptr<net::HippiLoopback> _loop;
+
+    /** @{ Reliability subsystem; null unless Config::withReliability.
+     *  Declared after the array so the controller detaches its oracle
+     *  before the array dies. */
+    std::unique_ptr<fault::FaultController> _faults;
+    std::unique_ptr<fault::RecoveryManager> _recovery;
+    std::unique_ptr<fault::Scrubber> _scrubber;
+    /** @} */
 
     /** Serializes the per-request file system CPU overheads. */
     std::unique_ptr<sim::Service> fsCpu;

@@ -39,6 +39,15 @@ XbusBoard::vmePort(unsigned idx)
 }
 
 void
+XbusBoard::injectPortError(unsigned vme_idx, sim::Tick stall)
+{
+    sim::Service &port = vmePort(vme_idx);
+    ++_portErrors;
+    _portErrorTicks += stall;
+    port.submitBusyTime(stall, nullptr);
+}
+
+void
 XbusBoard::registerStats(sim::StatsRegistry &reg,
                          const std::string &prefix) const
 {
@@ -61,6 +70,12 @@ XbusBoard::registerStats(sim::StatsRegistry &reg,
     });
     reg.addGauge(prefix + ".dram.capacity", [this] {
         return static_cast<double>(_buffers.capacity());
+    });
+    reg.addGauge(prefix + ".port_errors", [this] {
+        return static_cast<double>(_portErrors);
+    });
+    reg.addGauge(prefix + ".port_error_ms", [this] {
+        return sim::ticksToMs(_portErrorTicks);
     });
 }
 

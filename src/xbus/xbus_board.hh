@@ -61,6 +61,16 @@ class XbusBoard
     std::vector<sim::Stage> memoryToDisk(unsigned vme_idx);
     /** @} */
 
+    /**
+     * Fault-injection hook: a parity/handshake error on VME port
+     * @p vme_idx costs @p stall ticks of retry before the port moves
+     * data again.  Queued transfers ride it out.
+     */
+    void injectPortError(unsigned vme_idx, sim::Tick stall);
+
+    std::uint64_t portErrors() const { return _portErrors; }
+    sim::Tick portErrorTicks() const { return _portErrorTicks; }
+
     /** Register every port, the parity engine and the buffer pool
      *  under @p prefix ("<prefix>.port.hippi_src.bytes", ...). */
     void registerStats(sim::StatsRegistry &reg,
@@ -76,6 +86,8 @@ class XbusBoard
     sim::Service _hostLink;
     BufferPool _buffers;
     std::unique_ptr<ParityEngine> _parity;
+    std::uint64_t _portErrors = 0;
+    sim::Tick _portErrorTicks = 0;
 };
 
 } // namespace raid2::xbus

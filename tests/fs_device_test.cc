@@ -93,6 +93,32 @@ TEST(FaultDevice, TearGarblesTheFirstDroppedWrite)
     EXPECT_NE(out, a);
 }
 
+TEST(FaultDevice, HealResetsCrashStateForTheNextCrash)
+{
+    fs::MemBlockDevice mem(4096, 16);
+    fs::FaultDevice dev(mem);
+    dev.setTearOnCrash(true);
+    dev.setWriteLimit(0);
+    const auto a = block(0x11);
+    dev.writeBlock(5, {a.data(), a.size()}); // torn
+    EXPECT_EQ(dev.droppedWrites(), 1u);
+
+    dev.heal();
+    EXPECT_FALSE(dev.crashed());
+    EXPECT_EQ(dev.droppedWrites(), 0u); // stats reset with the fault
+
+    // A second crash tears again: heal() must rearm tearDone, or the
+    // post-heal crash silently drops where the first one tore.
+    dev.setWriteLimit(0);
+    const auto b = block(0x22);
+    dev.writeBlock(9, {b.data(), b.size()});
+    EXPECT_EQ(dev.droppedWrites(), 1u);
+    std::vector<std::uint8_t> out(4096);
+    mem.readBlock(9, {out.data(), out.size()});
+    EXPECT_TRUE(std::equal(out.begin(), out.begin() + 2048, b.begin()));
+    EXPECT_NE(out, b); // torn, not untouched
+}
+
 TEST(HookBlockDevice, ObservesTraffic)
 {
     fs::MemBlockDevice mem(4096, 16);
