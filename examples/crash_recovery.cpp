@@ -99,7 +99,7 @@ main()
     std::printf("content verified intact: %u files\n", intact);
     std::printf("fsck after recovery: %s\n",
                 fsck.ok ? "clean" : "PROBLEMS");
-    for (const auto &p : fsck.problems)
+    for (const auto &p : fsck.problems())
         std::printf("  %s\n", p.c_str());
 
     const bool ok = pre == 8 && post == 8 && lost == 0 && fsck.ok &&

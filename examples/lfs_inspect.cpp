@@ -127,7 +127,7 @@ main()
 
     const auto report = fs.fsck();
     std::printf("\nfsck: %s\n", report.ok ? "clean" : "PROBLEMS");
-    for (const auto &p : report.problems)
+    for (const auto &p : report.problems())
         std::printf("  %s\n", p.c_str());
     std::printf("log stats: %llu segments written, %llu checkpoints, "
                 "%llu cleaned\n",

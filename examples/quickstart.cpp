@@ -138,7 +138,7 @@ main()
     std::printf("segments written: %llu, fsck: %s\n",
                 (unsigned long long)server.fs().stats().segmentsWritten,
                 fsck.ok ? "clean" : "PROBLEMS");
-    for (const auto &p : fsck.problems)
+    for (const auto &p : fsck.problems())
         std::printf("  fsck: %s\n", p.c_str());
 
     return fsck.ok && st.size == file_bytes ? 0 : 1;

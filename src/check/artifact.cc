@@ -1,0 +1,190 @@
+#include "check/artifact.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace raid2::check {
+
+namespace {
+
+const char *
+modeName(TrialSpec::Mode m)
+{
+    switch (m) {
+      case TrialSpec::Mode::Cut:
+        return "cut";
+      case TrialSpec::Mode::Torn:
+        return "torn";
+      case TrialSpec::Mode::Dropped:
+        return "dropped";
+      case TrialSpec::Mode::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+TrialSpec::Mode
+modeFromName(const std::string &name)
+{
+    if (name == "cut")
+        return TrialSpec::Mode::Cut;
+    if (name == "torn")
+        return TrialSpec::Mode::Torn;
+    if (name == "dropped")
+        return TrialSpec::Mode::Dropped;
+    if (name == "corrupt")
+        return TrialSpec::Mode::Corrupt;
+    throw std::runtime_error("artifact: bad trial mode '" + name + "'");
+}
+
+[[noreturn]] void
+malformed(const std::string &what)
+{
+    throw std::runtime_error("artifact: " + what);
+}
+
+std::string
+nextLine(std::istringstream &in, const char *what)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        malformed(std::string("truncated before ") + what);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return line;
+}
+
+Op
+parseOp(const std::string &line)
+{
+    std::istringstream in(line);
+    std::string kind;
+    in >> kind;
+    Op op;
+    auto need = [&](auto &...field) {
+        (in >> ... >> field);
+        if (in.fail())
+            malformed("bad op line '" + line + "'");
+    };
+    if (kind == "create") {
+        op.kind = Op::Kind::Create;
+        need(op.path);
+    } else if (kind == "mkdir") {
+        op.kind = Op::Kind::Mkdir;
+        need(op.path);
+    } else if (kind == "write") {
+        op.kind = Op::Kind::Write;
+        need(op.path, op.off, op.len, op.dataSeed);
+    } else if (kind == "truncate") {
+        op.kind = Op::Kind::Truncate;
+        need(op.path, op.len);
+    } else if (kind == "rename") {
+        op.kind = Op::Kind::Rename;
+        need(op.path, op.path2);
+    } else if (kind == "link") {
+        op.kind = Op::Kind::Link;
+        need(op.path, op.path2);
+    } else if (kind == "unlink") {
+        op.kind = Op::Kind::Unlink;
+        need(op.path);
+    } else if (kind == "rmdir") {
+        op.kind = Op::Kind::Rmdir;
+        need(op.path);
+    } else if (kind == "sync") {
+        op.kind = Op::Kind::Sync;
+    } else if (kind == "checkpoint") {
+        op.kind = Op::Kind::Checkpoint;
+    } else if (kind == "clean") {
+        op.kind = Op::Kind::Clean;
+        need(op.len);
+    } else {
+        malformed("unknown op '" + kind + "'");
+    }
+    return op;
+}
+
+} // namespace
+
+std::string
+Artifact::serialize() const
+{
+    std::ostringstream out;
+    out << "raid2-check v1\n";
+    out << "config " << cfg.blockSize << " " << cfg.numBlocks << " "
+        << cfg.segBlocks << " " << cfg.maxInodes << " "
+        << (cfg.autoClean ? 1 : 0) << "\n";
+    out << "ops " << ops.size() << "\n";
+    for (const Op &op : ops)
+        out << op.str() << "\n";
+    out << "trial " << modeName(trial.mode) << " " << trial.cut << " "
+        << trial.target << " " << unsigned(trial.xorMask) << " "
+        << trial.forceBarrier << "\n";
+    out << "diffs " << diffs.size() << "\n";
+    for (const std::string &d : diffs)
+        out << d << "\n";
+    out << "end\n";
+    return out.str();
+}
+
+Artifact
+Artifact::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    Artifact art;
+
+    if (nextLine(in, "header") != "raid2-check v1")
+        malformed("bad header (want 'raid2-check v1')");
+
+    {
+        std::istringstream ln(nextLine(in, "config"));
+        std::string tag;
+        unsigned autoclean = 0;
+        ln >> tag >> art.cfg.blockSize >> art.cfg.numBlocks >>
+            art.cfg.segBlocks >> art.cfg.maxInodes >> autoclean;
+        if (ln.fail() || tag != "config")
+            malformed("bad config line");
+        art.cfg.autoClean = autoclean != 0;
+    }
+
+    {
+        std::istringstream ln(nextLine(in, "ops"));
+        std::string tag;
+        std::size_t n = 0;
+        ln >> tag >> n;
+        if (ln.fail() || tag != "ops")
+            malformed("bad ops line");
+        art.ops.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            art.ops.push_back(parseOp(nextLine(in, "op")));
+    }
+
+    {
+        std::istringstream ln(nextLine(in, "trial"));
+        std::string tag, mode;
+        unsigned mask = 0;
+        ln >> tag >> mode >> art.trial.cut >> art.trial.target >>
+            mask >> art.trial.forceBarrier;
+        if (ln.fail() || tag != "trial")
+            malformed("bad trial line");
+        art.trial.mode = modeFromName(mode);
+        art.trial.xorMask = static_cast<std::uint8_t>(mask);
+    }
+
+    {
+        std::istringstream ln(nextLine(in, "diffs"));
+        std::string tag;
+        std::size_t n = 0;
+        ln >> tag >> n;
+        if (ln.fail() || tag != "diffs")
+            malformed("bad diffs line");
+        art.diffs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            art.diffs.push_back(nextLine(in, "diff"));
+    }
+
+    if (nextLine(in, "end") != "end")
+        malformed("missing end marker");
+    return art;
+}
+
+} // namespace raid2::check

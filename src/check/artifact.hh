@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Replayable text artifact for a failing checker trial.
+ *
+ * Everything a trial needs is (config, ops, spec): trials are pure
+ * functions of those, so an artifact replays byte-for-byte on any
+ * build of the same source.  The expected diffs are stored too, which
+ * lets tools/check_replay verify an exact reproduction rather than
+ * just "still fails".  The format is a line-oriented text file:
+ *
+ *     raid2-check v1
+ *     config <blockSize> <numBlocks> <segBlocks> <maxInodes> <autoClean>
+ *     ops <N>
+ *     <one Op::str() line per op>
+ *     trial <mode> <cut> <target> <xorMask> <forceBarrier>
+ *     diffs <M>
+ *     <one diff line per entry>
+ *     end
+ */
+
+#ifndef RAID2_CHECK_ARTIFACT_HH
+#define RAID2_CHECK_ARTIFACT_HH
+
+#include <string>
+#include <vector>
+
+#include "check/crash_explorer.hh"
+
+namespace raid2::check {
+
+/** A self-contained failing trial. */
+struct Artifact
+{
+    CheckConfig cfg;
+    std::vector<Op> ops;
+    TrialSpec trial;
+    std::vector<std::string> diffs; // expected verdict
+
+    std::string serialize() const;
+
+    /** Parse @p text; throws std::runtime_error on malformed input. */
+    static Artifact parse(const std::string &text);
+};
+
+} // namespace raid2::check
+
+#endif // RAID2_CHECK_ARTIFACT_HH

@@ -1,0 +1,519 @@
+#include "check/crash_explorer.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "fs/fault_device.hh"
+#include "fs/mem_block_device.hh"
+#include "lfs/format.hh"
+#include "lfs/lfs.hh"
+#include "sim/logging.hh"
+
+namespace raid2::check {
+
+namespace {
+
+/** Copy-on-write view over a base image: trial writes stay local. */
+class OverlayDevice : public fs::BlockDevice
+{
+  public:
+    OverlayDevice(std::uint32_t block_size,
+                  const std::vector<std::uint8_t> &base_image)
+        : bs(block_size), base(base_image)
+    {
+    }
+
+    std::uint32_t blockSize() const override { return bs; }
+    std::uint64_t numBlocks() const override
+    {
+        return base.size() / bs;
+    }
+
+    void
+    readBlock(std::uint64_t bno, std::span<std::uint8_t> out) override
+    {
+        checkAccess(bno, out.size());
+        noteRead();
+        auto it = dirty.find(bno);
+        const std::uint8_t *src = it != dirty.end()
+                                      ? it->second.data()
+                                      : base.data() + bno * bs;
+        std::copy(src, src + bs, out.begin());
+    }
+
+    void
+    writeBlock(std::uint64_t bno,
+               std::span<const std::uint8_t> data) override
+    {
+        checkAccess(bno, data.size());
+        noteWrite();
+        dirty[bno].assign(data.begin(), data.end());
+    }
+
+  private:
+    std::uint32_t bs;
+    const std::vector<std::uint8_t> &base;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> dirty;
+};
+
+lfs::Lfs::Params
+fsParams(const CheckConfig &cfg)
+{
+    lfs::Lfs::Params p;
+    p.blockSize = cfg.blockSize;
+    p.segBlocks = cfg.segBlocks;
+    p.maxInodes = cfg.maxInodes;
+    return p;
+}
+
+/** Apply one workload op to a live file system. */
+void
+applyToLfs(lfs::Lfs &fs, const Op &op)
+{
+    switch (op.kind) {
+      case Op::Kind::Create:
+        fs.create(op.path);
+        break;
+      case Op::Kind::Mkdir:
+        fs.mkdir(op.path);
+        break;
+      case Op::Kind::Write: {
+        const auto data = patternBytes(op.len, op.dataSeed);
+        fs.write(fs.lookup(op.path), op.off,
+                 {data.data(), data.size()});
+        break;
+      }
+      case Op::Kind::Truncate:
+        fs.truncate(fs.lookup(op.path), op.len);
+        break;
+      case Op::Kind::Rename:
+        fs.rename(op.path, op.path2);
+        break;
+      case Op::Kind::Link:
+        fs.link(op.path, op.path2);
+        break;
+      case Op::Kind::Unlink:
+        fs.unlink(op.path);
+        break;
+      case Op::Kind::Rmdir:
+        fs.rmdir(op.path);
+        break;
+      case Op::Kind::Sync:
+        fs.sync();
+        break;
+      case Op::Kind::Checkpoint:
+        fs.checkpoint();
+        break;
+      case Op::Kind::Clean:
+        fs.clean(static_cast<unsigned>(op.len));
+        break;
+    }
+}
+
+/** Read the whole recovered tree (paths, types, file bytes). */
+Tree
+recoverTree(const lfs::Lfs &fs)
+{
+    Tree out;
+    std::vector<std::string> stack{"/"};
+    while (!stack.empty()) {
+        const std::string path = std::move(stack.back());
+        stack.pop_back();
+        const auto st = fs.stat(path);
+        TreeNode node;
+        if (st.type == lfs::FileType::Directory) {
+            node.isDir = true;
+            for (const auto &e : fs.readdir(path)) {
+                node.entries.insert(e.name);
+                stack.push_back(path == "/" ? "/" + e.name
+                                            : path + "/" + e.name);
+            }
+        } else {
+            auto bytes =
+                std::make_shared<std::vector<std::uint8_t>>(st.size);
+            if (st.size > 0)
+                fs.read(st.ino, 0, {bytes->data(), bytes->size()});
+            node.bytes = std::move(bytes);
+        }
+        out.emplace(path, std::move(node));
+    }
+    return out;
+}
+
+std::string
+describeNode(const TreeNode &n)
+{
+    if (!n.isDir)
+        return "file size=" + std::to_string(n.bytes->size());
+    std::string s = "dir {";
+    bool first = true;
+    for (const auto &e : n.entries) {
+        if (!first)
+            s += ",";
+        s += e;
+        first = false;
+    }
+    return s + "}";
+}
+
+/**
+ * The oracle comparison: every recovered path must match some legal
+ * version, and every path present in all legal versions must have
+ * been recovered.
+ */
+std::vector<std::string>
+compareAgainstOracle(const Tree &recovered,
+                     const std::vector<Tree> &versions, std::size_t lo,
+                     std::size_t hi)
+{
+    std::vector<std::string> diffs;
+    const std::string range =
+        "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+
+    for (const auto &[path, node] : recovered) {
+        bool matched = false;
+        bool everExists = false;
+        for (std::size_t j = lo; j <= hi && !matched; ++j) {
+            auto it = versions[j].find(path);
+            if (it == versions[j].end())
+                continue;
+            everExists = true;
+            if (it->second == node)
+                matched = true;
+        }
+        if (matched)
+            continue;
+        if (!everExists) {
+            diffs.push_back("path " + path + ": recovered (" +
+                            describeNode(node) +
+                            ") but absent from every legal version " +
+                            range);
+        } else {
+            diffs.push_back("path " + path + ": recovered " +
+                            describeNode(node) +
+                            " matches no legal version " + range);
+        }
+    }
+
+    // Paths present in *all* legal versions are durable: they must
+    // have been recovered (content equality was checked above).
+    for (const auto &[path, node] : versions[lo]) {
+        bool everywhere = true;
+        for (std::size_t j = lo + 1; j <= hi && everywhere; ++j)
+            everywhere = versions[j].count(path) != 0;
+        if (everywhere && !recovered.count(path)) {
+            diffs.push_back("path " + path +
+                            ": durable but missing after recovery "
+                            "(present in all legal versions " +
+                            range + ")");
+        }
+    }
+    return diffs;
+}
+
+} // namespace
+
+std::string
+TrialSpec::str() const
+{
+    const char *m = mode == Mode::Cut       ? "cut"
+                    : mode == Mode::Torn    ? "torn"
+                    : mode == Mode::Dropped ? "dropped"
+                                            : "corrupt";
+    return std::string(m) + " cut=" + std::to_string(cut) +
+           " target=" + std::to_string(target) +
+           " xor=" + std::to_string(xorMask) +
+           " barrier=" + std::to_string(forceBarrier);
+}
+
+// ---------------------------------------------------------------------
+// Live capture
+// ---------------------------------------------------------------------
+
+Capture
+CrashExplorer::capture(const std::vector<Op> &ops,
+                       const CheckConfig &cfg)
+{
+    Capture cap;
+    cap.cfg = cfg;
+    cap.ops = ops;
+
+    fs::MemBlockDevice media(cfg.blockSize, cfg.numBlocks);
+    fs::FaultDevice dev(media);
+    lfs::Lfs::format(dev, fsParams(cfg));
+    lfs::Lfs fs(dev); // creates the root directory + first checkpoint
+
+    cap.base.resize(std::size_t(cfg.numBlocks) * cfg.blockSize);
+    for (std::uint64_t b = 0; b < cfg.numBlocks; ++b) {
+        const auto raw = media.raw(b);
+        std::copy(raw.begin(), raw.end(),
+                  cap.base.begin() + std::size_t(b) * cfg.blockSize);
+    }
+
+    dev.attachWriteLog(&cap.log);
+    fs.setAutoClean(cfg.autoClean);
+
+    RefFs model;
+    cap.versions.push_back(model.tree());
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+        cap.log.setTag(static_cast<std::uint32_t>(j));
+        applyToLfs(fs, ops[j]);
+        model.apply(ops[j]);
+        cap.versions.push_back(model.tree());
+    }
+    dev.attachWriteLog(nullptr);
+    return cap;
+}
+
+// ---------------------------------------------------------------------
+// Oracle bounds
+// ---------------------------------------------------------------------
+
+std::pair<std::size_t, std::size_t>
+CrashExplorer::versionRange(const Capture &cap, const TrialSpec &spec)
+{
+    const auto &entries = cap.log.entries();
+    const auto &barriers = cap.log.barriers();
+
+    // Durability lower bound: the newest barrier whose writes all
+    // survive this trial.  A Cut at exactly a barrier keeps it; a
+    // torn/dropped write invalidates any barrier recorded after it.
+    std::size_t lo = 0; // version 0 = the freshly formatted tree
+    if (spec.forceBarrier >= 0) {
+        lo = barriers.at(static_cast<std::size_t>(spec.forceBarrier))
+                 .tag +
+             1;
+    } else {
+        const std::size_t anchor = (spec.mode == TrialSpec::Mode::Torn ||
+                                    spec.mode ==
+                                        TrialSpec::Mode::Dropped)
+                                       ? spec.target
+                                       : spec.cut;
+        for (const auto &b : barriers) {
+            if (b.at <= anchor && b.at <= spec.cut)
+                lo = b.tag + 1;
+        }
+    }
+
+    // Upper bound: the op that issued the last write that could have
+    // landed.
+    std::size_t hi = lo;
+    if (spec.cut > 0) {
+        std::size_t last = spec.cut - 1;
+        if (spec.mode == TrialSpec::Mode::Dropped &&
+            spec.target == last && last > 0) {
+            --last;
+        }
+        hi = std::max<std::size_t>(lo, entries.at(last).tag + 1);
+    }
+    return {lo, hi};
+}
+
+// ---------------------------------------------------------------------
+// One trial
+// ---------------------------------------------------------------------
+
+namespace {
+
+TrialResult
+runTrialFrom(const Capture &cap, const TrialSpec &spec,
+             const std::vector<std::uint8_t> &base_image,
+             std::size_t base_count)
+{
+    const auto &entries = cap.log.entries();
+    TrialResult result;
+
+    OverlayDevice overlay(cap.cfg.blockSize, base_image);
+    fs::FaultDevice dev(overlay);
+
+    // Rebuild the post-crash image: writes [base_count, cut) with the
+    // spec's perturbation, injected through the FaultDevice.
+    for (std::size_t i = base_count; i < spec.cut; ++i) {
+        const auto &e = entries[i];
+        if (i == spec.target && spec.mode != TrialSpec::Mode::Cut) {
+            switch (spec.mode) {
+              case TrialSpec::Mode::Torn:
+                dev.setWriteLimit(0);
+                dev.setTearOnCrash(true);
+                dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
+                dev.heal();
+                dev.setTearOnCrash(false);
+                break;
+              case TrialSpec::Mode::Dropped:
+                dev.setWriteLimit(0);
+                dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
+                dev.heal();
+                break;
+              case TrialSpec::Mode::Corrupt: {
+                std::vector<std::uint8_t> bad = e.data;
+                const std::size_t n =
+                    std::min<std::size_t>(64, bad.size());
+                for (std::size_t k = 0; k < n; ++k)
+                    bad[k] ^= spec.xorMask;
+                dev.writeBlock(e.bno, {bad.data(), bad.size()});
+                break;
+              }
+              case TrialSpec::Mode::Cut:
+                break;
+            }
+            continue;
+        }
+        dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
+    }
+
+    // Remount: checkpoint load + roll-forward recovery.
+    const auto [lo, hi] = CrashExplorer::versionRange(cap, spec);
+    try {
+        lfs::Lfs fs(dev);
+        const auto fsck = fs.fsck();
+        if (!fsck.ok) {
+            for (const auto &issue : fsck.issues)
+                result.diffs.push_back("fsck: " + issue.str());
+        } else {
+            const Tree recovered = recoverTree(fs);
+            result.diffs = compareAgainstOracle(recovered,
+                                                cap.versions, lo, hi);
+        }
+    } catch (const std::exception &e) {
+        result.diffs.push_back(std::string("mount failed: ") +
+                               e.what());
+    }
+
+    result.ok = result.diffs.empty();
+    return result;
+}
+
+} // namespace
+
+TrialResult
+CrashExplorer::runTrial(const Capture &cap, const TrialSpec &spec)
+{
+    return runTrialFrom(cap, spec, cap.base, 0);
+}
+
+// ---------------------------------------------------------------------
+// Enumeration
+// ---------------------------------------------------------------------
+
+ExploreReport
+CrashExplorer::explore(const Capture &cap, const ExploreOptions &opt)
+{
+    ExploreReport report;
+    const auto &entries = cap.log.entries();
+    const auto &barriers = cap.log.barriers();
+    const std::size_t n = entries.size();
+
+    auto run = [&](const TrialSpec &spec,
+                   const std::vector<std::uint8_t> &base,
+                   std::size_t base_count) -> bool {
+        ++report.trials;
+        const TrialResult r = runTrialFrom(cap, spec, base, base_count);
+        if (!r.ok)
+            report.failures.push_back(Failure{spec, r.diffs});
+        return !r.ok && opt.stopAtFirst;
+    };
+
+    // Window boundaries: the implicit barrier at write 0 (the base
+    // image is a checkpointed state), every recorded barrier, the end
+    // of the log.
+    std::vector<std::size_t> bounds{0};
+    for (const auto &b : barriers) {
+        if (b.at != bounds.back())
+            bounds.push_back(b.at);
+    }
+    if (bounds.back() != n)
+        bounds.push_back(n);
+
+    // The empty prefix: crash before anything after the mount landed.
+    if (opt.legalTrials &&
+        run(TrialSpec{TrialSpec::Mode::Cut, 0, 0, 0xff, -1}, cap.base,
+            0)) {
+        return report;
+    }
+
+    // Advance a shared base image window by window so each trial only
+    // replays writes from its own window.
+    std::vector<std::uint8_t> base = cap.base;
+    for (std::size_t w = 0; w + 1 < bounds.size(); ++w) {
+        const std::size_t start = bounds[w];
+        const std::size_t end = bounds[w + 1];
+
+        for (std::size_t i = start; opt.legalTrials && i < end; ++i) {
+            // Crash point after write i: either write i+1 never
+            // starts (Cut — also the "dropped in flight" variant of
+            // crash point i+1 under ordered writes) ...
+            if (run(TrialSpec{TrialSpec::Mode::Cut, i + 1, 0, 0xff, -1},
+                    base, start)) {
+                return report;
+            }
+            // ... or write i itself lands torn mid-transfer.
+            if (run(TrialSpec{TrialSpec::Mode::Torn, i + 1, i, 0xff,
+                              -1},
+                    base, start)) {
+                return report;
+            }
+        }
+
+        // Self-test: drop an *acknowledged* summary write from before
+        // the barrier that ends this window — must be flagged.
+        if (opt.dropAckedWrites && end < n) {
+            std::size_t bidx = npos;
+            for (std::size_t k = 0; k < barriers.size(); ++k) {
+                if (barriers[k].at == end)
+                    bidx = k;
+            }
+            if (bidx != npos) {
+                const std::size_t target =
+                    ackedSummaryWriteBefore(cap, bidx);
+                if (target != npos) {
+                    if (run(TrialSpec{TrialSpec::Mode::Dropped, end,
+                                      target,
+                                      0xff, static_cast<int>(bidx)},
+                            cap.base, 0)) {
+                        return report;
+                    }
+                }
+            }
+        }
+
+        for (std::size_t i = start; i < end; ++i) {
+            const auto &e = entries[i];
+            std::copy(e.data.begin(), e.data.end(),
+                      base.begin() +
+                          std::size_t(e.bno) * cap.cfg.blockSize);
+        }
+    }
+
+    return report;
+}
+
+std::size_t
+CrashExplorer::ackedSummaryWriteBefore(const Capture &cap,
+                                       std::size_t barrier)
+{
+    const auto &entries = cap.log.entries();
+    const auto &barriers = cap.log.barriers();
+    if (barrier >= barriers.size())
+        return npos;
+
+    lfs::Superblock sb;
+    std::memcpy(&sb, cap.base.data(), sizeof(sb));
+    if (!sb.valid())
+        sim::panic("ackedSummaryWriteBefore: bad base superblock");
+
+    const std::size_t end = barriers[barrier].at;
+    const std::size_t start =
+        barrier > 0 ? barriers[barrier - 1].at : 0;
+    for (std::size_t i = end; i-- > start;) {
+        const std::uint64_t bno = entries[i].bno;
+        if (bno >= sb.firstSegBlock &&
+            bno < sb.firstSegBlock + sb.numSegments * sb.segBlocks &&
+            (bno - sb.firstSegBlock) % sb.segBlocks == 0) {
+            return i;
+        }
+    }
+    return npos;
+}
+
+} // namespace raid2::check

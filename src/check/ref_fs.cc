@@ -1,0 +1,410 @@
+#include "check/ref_fs.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace raid2::check {
+
+// ---------------------------------------------------------------------
+// Op / pattern helpers
+// ---------------------------------------------------------------------
+
+std::string
+Op::str() const
+{
+    switch (kind) {
+      case Kind::Create:
+        return "create " + path;
+      case Kind::Mkdir:
+        return "mkdir " + path;
+      case Kind::Write:
+        return "write " + path + " " + std::to_string(off) + " " +
+               std::to_string(len) + " " + std::to_string(dataSeed);
+      case Kind::Truncate:
+        return "truncate " + path + " " + std::to_string(len);
+      case Kind::Rename:
+        return "rename " + path + " " + path2;
+      case Kind::Link:
+        return "link " + path + " " + path2;
+      case Kind::Unlink:
+        return "unlink " + path;
+      case Kind::Rmdir:
+        return "rmdir " + path;
+      case Kind::Sync:
+        return "sync";
+      case Kind::Checkpoint:
+        return "checkpoint";
+      case Kind::Clean:
+        return "clean " + std::to_string(len);
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+patternBytes(std::uint64_t len, std::uint64_t seed)
+{
+    sim::Random rng(seed);
+    std::vector<std::uint8_t> v(len);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.next());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t i = 0;
+    while (i < path.size()) {
+        while (i < path.size() && path[i] == '/')
+            ++i;
+        std::size_t j = i;
+        while (j < path.size() && path[j] != '/')
+            ++j;
+        if (j > i)
+            parts.push_back(path.substr(i, j - i));
+        i = j;
+    }
+    return parts;
+}
+
+} // namespace
+
+RefFs::RefFs()
+{
+    Node root;
+    root.dir = true;
+    root.nlink = 2;
+    nodes.push_back(std::move(root));
+}
+
+std::size_t
+RefFs::lookup(const std::string &path) const
+{
+    std::size_t cur = 0;
+    for (const std::string &part : splitPath(path)) {
+        if (!nodes[cur].dir)
+            return npos;
+        auto it = nodes[cur].children.find(part);
+        if (it == nodes[cur].children.end())
+            return npos;
+        cur = it->second;
+    }
+    return cur;
+}
+
+std::size_t
+RefFs::lookupParent(const std::string &path, std::string &leaf) const
+{
+    const auto parts = splitPath(path);
+    if (parts.empty())
+        return npos; // the root has no parent
+    leaf = parts.back();
+    std::size_t cur = 0;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+        if (!nodes[cur].dir)
+            return npos;
+        auto it = nodes[cur].children.find(parts[i]);
+        if (it == nodes[cur].children.end())
+            return npos;
+        cur = it->second;
+    }
+    return nodes[cur].dir ? cur : npos;
+}
+
+void
+RefFs::unref(std::size_t id)
+{
+    Node &n = nodes[id];
+    if (n.nlink > 0)
+        --n.nlink;
+    if (n.nlink == 0) {
+        n.freed = true;
+        n.data.reset();
+        n.children.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validity (mirrors lfs::Lfs error checks)
+// ---------------------------------------------------------------------
+
+bool
+RefFs::valid(const Op &op) const
+{
+    std::string leaf;
+    switch (op.kind) {
+      case Op::Kind::Create:
+      case Op::Kind::Mkdir: {
+        const std::size_t parent = lookupParent(op.path, leaf);
+        return parent != npos &&
+               !nodes[parent].children.count(leaf);
+      }
+      case Op::Kind::Write: {
+        const std::size_t id = lookup(op.path);
+        return id != npos && !nodes[id].dir && op.len > 0;
+      }
+      case Op::Kind::Truncate: {
+        const std::size_t id = lookup(op.path);
+        return id != npos && !nodes[id].dir;
+      }
+      case Op::Kind::Rename: {
+        const std::size_t src = lookup(op.path);
+        if (src == npos)
+            return false;
+        const std::size_t to_parent = lookupParent(op.path2, leaf);
+        if (to_parent == npos)
+            return false;
+        const bool moving_dir = nodes[src].dir;
+        if (moving_dir && op.path2.size() > op.path.size() &&
+            op.path2.compare(0, op.path.size(), op.path) == 0 &&
+            op.path2[op.path.size()] == '/') {
+            return false; // directory into its own subtree
+        }
+        auto it = nodes[to_parent].children.find(leaf);
+        if (it != nodes[to_parent].children.end()) {
+            const std::size_t target = it->second;
+            if (target == src)
+                return true; // no-op rename, legal
+            if (nodes[target].dir) {
+                if (!moving_dir || !nodes[target].children.empty())
+                    return false;
+            } else if (moving_dir) {
+                return false;
+            }
+        }
+        return true;
+      }
+      case Op::Kind::Link: {
+        const std::size_t src = lookup(op.path);
+        if (src == npos || nodes[src].dir)
+            return false;
+        const std::size_t parent = lookupParent(op.path2, leaf);
+        return parent != npos &&
+               !nodes[parent].children.count(leaf);
+      }
+      case Op::Kind::Unlink: {
+        const std::size_t id = lookup(op.path);
+        return id != npos && !nodes[id].dir;
+      }
+      case Op::Kind::Rmdir: {
+        const std::size_t id = lookup(op.path);
+        return id != npos && id != 0 && nodes[id].dir &&
+               nodes[id].children.empty();
+      }
+      case Op::Kind::Sync:
+      case Op::Kind::Checkpoint:
+      case Op::Kind::Clean:
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Application
+// ---------------------------------------------------------------------
+
+void
+RefFs::apply(const Op &op)
+{
+    if (!valid(op))
+        sim::panic("RefFs::apply: invalid op '%s'", op.str().c_str());
+
+    std::string leaf;
+    switch (op.kind) {
+      case Op::Kind::Create: {
+        const std::size_t parent = lookupParent(op.path, leaf);
+        Node n;
+        n.dir = false;
+        n.data = std::make_shared<const std::vector<std::uint8_t>>();
+        n.nlink = 1;
+        nodes.push_back(std::move(n));
+        nodes[parent].children[leaf] = nodes.size() - 1;
+        break;
+      }
+      case Op::Kind::Mkdir: {
+        const std::size_t parent = lookupParent(op.path, leaf);
+        Node n;
+        n.dir = true;
+        n.nlink = 2;
+        nodes.push_back(std::move(n));
+        nodes[parent].children[leaf] = nodes.size() - 1;
+        ++nodes[parent].nlink;
+        break;
+      }
+      case Op::Kind::Write: {
+        const std::size_t id = lookup(op.path);
+        auto bytes = std::make_shared<std::vector<std::uint8_t>>(
+            *nodes[id].data);
+        if (bytes->size() < op.off + op.len)
+            bytes->resize(op.off + op.len, 0);
+        const auto data = patternBytes(op.len, op.dataSeed);
+        std::copy(data.begin(), data.end(),
+                  bytes->begin() + static_cast<std::ptrdiff_t>(op.off));
+        nodes[id].data = std::move(bytes);
+        break;
+      }
+      case Op::Kind::Truncate: {
+        const std::size_t id = lookup(op.path);
+        auto bytes = std::make_shared<std::vector<std::uint8_t>>(
+            *nodes[id].data);
+        bytes->resize(op.len, 0);
+        nodes[id].data = std::move(bytes);
+        break;
+      }
+      case Op::Kind::Rename: {
+        const std::size_t src = lookup(op.path);
+        std::string from_leaf;
+        const std::size_t from_parent =
+            lookupParent(op.path, from_leaf);
+        const std::size_t to_parent = lookupParent(op.path2, leaf);
+        auto it = nodes[to_parent].children.find(leaf);
+        if (it != nodes[to_parent].children.end()) {
+            if (it->second == src)
+                break; // no-op
+            const std::size_t target = it->second;
+            if (nodes[target].dir) {
+                // Replaces an empty directory (validated): rmdir it.
+                --nodes[to_parent].nlink;
+                unref(target);
+                unref(target); // directories carry nlink 2
+            } else {
+                unref(target);
+            }
+            nodes[to_parent].children.erase(it);
+        }
+        nodes[from_parent].children.erase(from_leaf);
+        nodes[to_parent].children[leaf] = src;
+        if (nodes[src].dir && from_parent != to_parent) {
+            --nodes[from_parent].nlink;
+            ++nodes[to_parent].nlink;
+        }
+        break;
+      }
+      case Op::Kind::Link: {
+        const std::size_t src = lookup(op.path);
+        const std::size_t parent = lookupParent(op.path2, leaf);
+        nodes[parent].children[leaf] = src;
+        ++nodes[src].nlink;
+        break;
+      }
+      case Op::Kind::Unlink: {
+        std::string l;
+        const std::size_t parent = lookupParent(op.path, l);
+        const std::size_t id = nodes[parent].children.at(l);
+        nodes[parent].children.erase(l);
+        unref(id);
+        break;
+      }
+      case Op::Kind::Rmdir: {
+        std::string l;
+        const std::size_t parent = lookupParent(op.path, l);
+        const std::size_t id = nodes[parent].children.at(l);
+        nodes[parent].children.erase(l);
+        --nodes[parent].nlink;
+        unref(id);
+        unref(id); // directories carry nlink 2
+        break;
+      }
+      case Op::Kind::Sync:
+      case Op::Kind::Checkpoint:
+      case Op::Kind::Clean:
+        break; // no effect on the logical tree
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots / introspection
+// ---------------------------------------------------------------------
+
+Tree
+RefFs::tree() const
+{
+    Tree out;
+    // Iterative DFS carrying (node id, path).
+    std::vector<std::pair<std::size_t, std::string>> stack{{0, "/"}};
+    while (!stack.empty()) {
+        auto [id, path] = stack.back();
+        stack.pop_back();
+        const Node &n = nodes[id];
+        TreeNode t;
+        t.isDir = n.dir;
+        if (n.dir) {
+            for (const auto &[name, child] : n.children) {
+                t.entries.insert(name);
+                const std::string cpath =
+                    path == "/" ? "/" + name : path + "/" + name;
+                stack.push_back({child, cpath});
+            }
+        } else {
+            t.bytes = n.data;
+        }
+        out.emplace(std::move(path), std::move(t));
+    }
+    return out;
+}
+
+bool
+RefFs::exists(const std::string &path) const
+{
+    return lookup(path) != npos;
+}
+
+bool
+RefFs::isDir(const std::string &path) const
+{
+    const std::size_t id = lookup(path);
+    return id != npos && nodes[id].dir;
+}
+
+std::uint64_t
+RefFs::fileSize(const std::string &path) const
+{
+    const std::size_t id = lookup(path);
+    if (id == npos || nodes[id].dir)
+        return 0;
+    return nodes[id].data->size();
+}
+
+std::vector<std::string>
+RefFs::allFiles() const
+{
+    std::vector<std::string> out;
+    for (const auto &[path, node] : tree()) {
+        if (!node.isDir)
+            out.push_back(path);
+    }
+    return out;
+}
+
+std::vector<std::string>
+RefFs::allDirs() const
+{
+    std::vector<std::string> out;
+    for (const auto &[path, node] : tree()) {
+        if (node.isDir)
+            out.push_back(path);
+    }
+    return out;
+}
+
+std::uint64_t
+RefFs::totalBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const Node &n : nodes) {
+        if (!n.freed && !n.dir && n.data)
+            sum += n.data->size();
+    }
+    return sum;
+}
+
+} // namespace raid2::check

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * In-memory reference file system — the model checker's oracle.
+ *
+ * RefFs mirrors the user-visible semantics of lfs::Lfs (paths, hard
+ * links, holes, rename-over-existing, ...) with none of its on-media
+ * machinery.  The checker runs every workload operation through both
+ * and snapshots the reference tree after each op; the set of legal
+ * post-crash states is then expressed in terms of those snapshots:
+ * everything acknowledged-and-synced must persist exactly, while an
+ * unsynced op may surface at any op-boundary version inside the crash
+ * window (per path — LFS flushes whole inodes at op boundaries, so
+ * mid-op blends are never durable, but different files may land at
+ * different versions).
+ */
+
+#ifndef RAID2_CHECK_REF_FS_HH
+#define RAID2_CHECK_REF_FS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace raid2::check {
+
+/** One workload operation, self-contained and replayable. */
+struct Op
+{
+    enum class Kind {
+        Create,
+        Mkdir,
+        Write,      // bytes = patternBytes(len, dataSeed) at off
+        Truncate,   // len = new size
+        Rename,     // path -> path2
+        Link,       // path2 becomes another name for path
+        Unlink,
+        Rmdir,
+        Sync,
+        Checkpoint,
+        Clean,      // len = target free segments
+    };
+
+    Kind kind;
+    std::string path;
+    std::string path2;
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::uint64_t dataSeed = 0;
+
+    /** One-line rendering, parseable by Artifact. */
+    std::string str() const;
+};
+
+/** Deterministic payload for Write ops. */
+std::vector<std::uint8_t> patternBytes(std::uint64_t len,
+                                       std::uint64_t seed);
+
+/** Materialized view of one path in a tree snapshot. */
+struct TreeNode
+{
+    bool isDir = false;
+    /** File content (shared across snapshots; never mutated). */
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+    /** Child names (directories only). */
+    std::set<std::string> entries;
+
+    bool operator==(const TreeNode &o) const
+    {
+        if (isDir != o.isDir)
+            return false;
+        if (isDir)
+            return entries == o.entries;
+        const auto &a = *bytes;
+        const auto &b = *o.bytes;
+        return a == b;
+    }
+};
+
+/** Full tree snapshot: every live path, including "/". */
+using Tree = std::map<std::string, TreeNode>;
+
+/** The oracle model. */
+class RefFs
+{
+  public:
+    RefFs();
+
+    /** Would lfs::Lfs accept this op? (mirrors its error checks) */
+    bool valid(const Op &op) const;
+
+    /** Apply @p op; the op must be valid(). */
+    void apply(const Op &op);
+
+    /** Materialize the current tree (cheap: content is shared). */
+    Tree tree() const;
+
+    /** @{ Introspection for the workload generator. */
+    bool exists(const std::string &path) const;
+    bool isDir(const std::string &path) const;
+    std::uint64_t fileSize(const std::string &path) const;
+    std::vector<std::string> allFiles() const;  // sorted paths
+    std::vector<std::string> allDirs() const;   // sorted, incl. "/"
+    std::uint64_t totalBytes() const;           // sum of file sizes
+    /** @} */
+
+  private:
+    struct Node
+    {
+        bool dir = false;
+        std::shared_ptr<const std::vector<std::uint8_t>> data;
+        std::map<std::string, std::size_t> children; // name -> node id
+        unsigned nlink = 0;
+        bool freed = false;
+    };
+
+    std::size_t lookup(const std::string &path) const; // npos if absent
+    std::size_t lookupParent(const std::string &path,
+                             std::string &leaf) const;
+    void unref(std::size_t id);
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::vector<Node> nodes; // node 0 is the root
+};
+
+} // namespace raid2::check
+
+#endif // RAID2_CHECK_REF_FS_HH

@@ -1,0 +1,94 @@
+#include "check/shrinker.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace raid2::check {
+
+std::vector<Op>
+Shrinker::sanitize(const std::vector<Op> &ops)
+{
+    RefFs model;
+    std::vector<Op> out;
+    out.reserve(ops.size());
+    for (const Op &op : ops) {
+        if (!model.valid(op))
+            continue;
+        model.apply(op);
+        out.push_back(op);
+    }
+    return out;
+}
+
+Shrinker::Result
+Shrinker::shrink(const std::vector<Op> &ops, const Predicate &pred)
+{
+    Result res;
+    res.ops = sanitize(ops);
+
+    auto check = [&](const std::vector<Op> &cand)
+        -> std::optional<Failure> {
+        ++res.attempts;
+        return pred(cand);
+    };
+
+    auto witness = check(res.ops);
+    if (!witness)
+        sim::panic("Shrinker::shrink: seed sequence does not fail");
+    res.witness = *witness;
+
+    // Pass 1: remove chunks, halving the chunk size down to one op.
+    for (std::size_t chunk = std::max<std::size_t>(res.ops.size() / 2,
+                                                   1);
+         ;) {
+        bool removed = false;
+        for (std::size_t at = 0; at < res.ops.size();) {
+            std::vector<Op> cand;
+            cand.reserve(res.ops.size());
+            cand.insert(cand.end(), res.ops.begin(),
+                        res.ops.begin() + static_cast<std::ptrdiff_t>(
+                                              at));
+            cand.insert(cand.end(),
+                        res.ops.begin() +
+                            static_cast<std::ptrdiff_t>(std::min(
+                                at + chunk, res.ops.size())),
+                        res.ops.end());
+            cand = sanitize(cand);
+            if (cand.size() < res.ops.size()) {
+                if (auto w = check(cand)) {
+                    res.ops = std::move(cand);
+                    res.witness = *w;
+                    removed = true;
+                    continue; // same position, next chunk slid in
+                }
+            }
+            at += chunk;
+        }
+        if (chunk == 1 && !removed)
+            break;
+        if (chunk > 1)
+            chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+
+    // Pass 2: shrink write lengths (patternBytes has the prefix
+    // property: halving a write keeps its first half identical).
+    for (std::size_t i = 0; i < res.ops.size(); ++i) {
+        if (res.ops[i].kind != Op::Kind::Write)
+            continue;
+        while (res.ops[i].len > 1) {
+            std::vector<Op> cand = res.ops;
+            cand[i].len /= 2;
+            if (auto w = check(cand)) {
+                res.ops = std::move(cand);
+                res.witness = *w;
+            } else {
+                break;
+            }
+        }
+    }
+
+    return res;
+}
+
+} // namespace raid2::check

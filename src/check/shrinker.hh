@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Greedy workload minimization for failing checker trials.
+ *
+ * Given an op sequence and a predicate that re-runs the checker and
+ * reports whether a failure (any failure) still reproduces, the
+ * shrinker removes chunks of ops (ddmin-style, halving chunk sizes
+ * down to single ops) and then halves write lengths, keeping every
+ * change that preserves the failure.  Removing ops can invalidate
+ * later ones (unlink of a never-created file); candidates are passed
+ * through sanitize(), which cascade-drops ops a RefFs replay rejects,
+ * so the predicate only ever sees valid sequences.  The shrunk
+ * sequence plus the surviving trial forms the replayable artifact.
+ */
+
+#ifndef RAID2_CHECK_SHRINKER_HH
+#define RAID2_CHECK_SHRINKER_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "check/crash_explorer.hh"
+
+namespace raid2::check {
+
+class Shrinker
+{
+  public:
+    /** Re-run the checker over a candidate sequence; return the
+     *  failure it still provokes, or nullopt if it passes. */
+    using Predicate =
+        std::function<std::optional<Failure>(const std::vector<Op> &)>;
+
+    struct Result
+    {
+        std::vector<Op> ops; // minimized sequence
+        Failure witness;     // the failure the final sequence provokes
+        std::size_t attempts = 0; // predicate invocations
+    };
+
+    /** Drop every op a sequential RefFs replay rejects (cascading:
+     *  a drop can invalidate later ops, which are dropped too). */
+    static std::vector<Op> sanitize(const std::vector<Op> &ops);
+
+    /** Minimize @p ops, preserving failure per @p pred.  @p seed must
+     *  already fail (the predicate is consulted first; panics
+     *  otherwise). */
+    static Result shrink(const std::vector<Op> &ops,
+                         const Predicate &pred);
+};
+
+} // namespace raid2::check
+
+#endif // RAID2_CHECK_SHRINKER_HH

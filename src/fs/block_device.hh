@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fs/write_log.hh"
 #include "sim/stats.hh"
 
 namespace raid2::fs {
@@ -116,19 +117,31 @@ class HookBlockDevice : public BlockDevice
     {
         noteWrite();
         inner.writeBlock(bno, data);
+        if (wlog)
+            wlog->noteWrite(bno, data);
         if (hook)
             hook(bno * blockSize(), blockSize(), true);
     }
 
-    void flush() override { inner.flush(); }
+    void
+    flush() override
+    {
+        inner.flush();
+        if (wlog)
+            wlog->noteBarrier();
+    }
 
     /** Observe every access; the is_write argument tells reads from
      *  writes. */
     void setHook(Hook h) { hook = std::move(h); }
 
+    /** Record every write + barrier into @p log (nullptr detaches). */
+    void attachWriteLog(WriteLog *log) { wlog = log; }
+
   private:
     BlockDevice &inner;
     Hook hook;
+    WriteLog *wlog = nullptr;
 };
 
 } // namespace raid2::fs

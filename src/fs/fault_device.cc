@@ -21,6 +21,8 @@ FaultDevice::writeBlock(std::uint64_t bno,
     if (limit > 0) {
         --limit;
         inner.writeBlock(bno, data);
+        if (wlog)
+            wlog->noteWrite(bno, data);
         return;
     }
     ++dropped;
@@ -31,14 +33,19 @@ FaultDevice::writeBlock(std::uint64_t bno,
         for (std::size_t i = torn.size() / 2; i < torn.size(); ++i)
             torn[i] = 0xbd;
         inner.writeBlock(bno, torn);
+        if (wlog)
+            wlog->noteWrite(bno, {torn.data(), torn.size()});
     }
 }
 
 void
 FaultDevice::flush()
 {
-    if (limit > 0)
+    if (limit > 0) {
         inner.flush();
+        if (wlog)
+            wlog->noteBarrier();
+    }
 }
 
 } // namespace raid2::fs

@@ -60,8 +60,14 @@ class FaultDevice : public BlockDevice
     bool crashed() const { return limit == 0; }
     std::uint64_t droppedWrites() const { return dropped; }
 
+    /** Record every write that reaches the inner device (including
+     *  torn payloads, as written) plus completed flush barriers into
+     *  @p log.  nullptr detaches. */
+    void attachWriteLog(WriteLog *log) { wlog = log; }
+
   private:
     BlockDevice &inner;
+    WriteLog *wlog = nullptr;
     std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t dropped = 0;
     bool tearOnCrash = false;

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Block-level write-log capture for crash-consistency testing.
+ *
+ * A WriteLog records every block write that reaches the media, in
+ * order, together with a caller-supplied tag (the model checker tags
+ * each write with the index of the file-system operation that issued
+ * it) and the position of every barrier (flush).  The crash-point
+ * explorer replays prefixes of this log — optionally with one write
+ * torn, dropped or corrupted — to enumerate every state a real device
+ * could be left in by a crash.
+ *
+ * Capture attaches to the pass-through device wrappers
+ * (HookBlockDevice, FaultDevice) via attachWriteLog(); detaching is
+ * attaching nullptr.  The log stores full block payloads, so a
+ * recorded run is replayable without the writer.
+ */
+
+#ifndef RAID2_FS_WRITE_LOG_HH
+#define RAID2_FS_WRITE_LOG_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace raid2::fs {
+
+/** Ordered record of block writes and barriers. */
+class WriteLog
+{
+  public:
+    /** One block write that reached the media. */
+    struct Entry
+    {
+        std::uint64_t bno;
+        std::vector<std::uint8_t> data;
+        std::uint32_t tag; // caller-defined (op index)
+    };
+
+    /** A completed flush(): entries [0, at) are durable. */
+    struct Barrier
+    {
+        std::size_t at;    // index into entries()
+        std::uint32_t tag; // tag current when the flush completed
+    };
+
+    /** Tag applied to subsequently recorded writes/barriers. */
+    void setTag(std::uint32_t t) { _tag = t; }
+    std::uint32_t tag() const { return _tag; }
+
+    void
+    noteWrite(std::uint64_t bno, std::span<const std::uint8_t> data)
+    {
+        _entries.push_back(
+            Entry{bno, {data.begin(), data.end()}, _tag});
+    }
+
+    void
+    noteBarrier()
+    {
+        // Coalesce back-to-back flushes with no interleaved writes.
+        if (!_barriers.empty() && _barriers.back().at == _entries.size())
+            return;
+        _barriers.push_back(Barrier{_entries.size(), _tag});
+    }
+
+    const std::vector<Entry> &entries() const { return _entries; }
+    const std::vector<Barrier> &barriers() const { return _barriers; }
+
+    void
+    clear()
+    {
+        _entries.clear();
+        _barriers.clear();
+        _tag = 0;
+    }
+
+  private:
+    std::vector<Entry> _entries;
+    std::vector<Barrier> _barriers;
+    std::uint32_t _tag = 0;
+};
+
+} // namespace raid2::fs
+
+#endif // RAID2_FS_WRITE_LOG_HH

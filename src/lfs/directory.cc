@@ -45,8 +45,11 @@ Lfs::readDirEntries(const DiskInode &dir) const
             break; // padding tail
         if (hdr.nameLen == 0 || hdr.nameLen > maxNameLen ||
             pos + hdr.nameLen > raw.size()) {
-            sim::panic("Lfs: corrupt directory entry in inode %u",
-                       dir.ino);
+            // Corrupt media, not a program bug: let callers (fsck,
+            // the crash checker) handle it.
+            throw LfsError(Errno::Invalid,
+                           "corrupt directory entry in inode " +
+                               std::to_string(dir.ino));
         }
         entries.push_back(DirEntry{
             hdr.ino,

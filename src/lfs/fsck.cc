@@ -7,7 +7,9 @@
  * inside the log and inside a segment the usage table believes is
  * live; the directory tree is connected, acyclic, and link counts
  * match; no allocated inode is orphaned.  Used heavily by the property
- * tests (run after random operation sequences, crashes and cleaning).
+ * tests (run after random operation sequences, crashes and cleaning)
+ * and by the crash-consistency model checker, which consumes the
+ * structured verdict to print actionable diffs.
  */
 
 #include <cstring>
@@ -20,6 +22,71 @@
 
 namespace raid2::lfs {
 
+const char *
+fsckIssueName(FsckIssue kind)
+{
+    switch (kind) {
+      case FsckIssue::AddrOutsideLog:
+        return "addr-outside-log";
+      case FsckIssue::AddrInCleanSegment:
+        return "addr-in-clean-segment";
+      case FsckIssue::AddrInSummaryArea:
+        return "addr-in-summary-area";
+      case FsckIssue::ImapSlotRange:
+        return "imap-slot-range";
+      case FsckIssue::WrongInodeSlot:
+        return "wrong-inode-slot";
+      case FsckIssue::GenMismatch:
+        return "gen-mismatch";
+      case FsckIssue::FreeTypeAllocated:
+        return "free-type-allocated";
+      case FsckIssue::SizeBeyondMax:
+        return "size-beyond-max";
+      case FsckIssue::MissingRoot:
+        return "missing-root";
+      case FsckIssue::NotADirectory:
+        return "not-a-directory";
+      case FsckIssue::DuplicateName:
+        return "duplicate-name";
+      case FsckIssue::EntryUnallocated:
+        return "entry-unallocated";
+      case FsckIssue::MultipleParents:
+        return "multiple-parents";
+      case FsckIssue::OrphanDirectory:
+        return "orphan-directory";
+      case FsckIssue::OrphanFile:
+        return "orphan-file";
+      case FsckIssue::BadNlink:
+        return "bad-nlink";
+      case FsckIssue::CorruptMetadata:
+        return "corrupt-metadata";
+    }
+    return "unknown";
+}
+
+std::string
+FsckInconsistency::str() const
+{
+    std::string s = fsckIssueName(kind);
+    if (ino != nullIno)
+        s += " ino=" + std::to_string(ino);
+    if (addr != nullAddr)
+        s += " addr=" + std::to_string(addr);
+    if (!detail.empty())
+        s += ": " + detail;
+    return s;
+}
+
+std::vector<std::string>
+FsckReport::problems() const
+{
+    std::vector<std::string> out;
+    out.reserve(issues.size());
+    for (const auto &i : issues)
+        out.push_back(i.str());
+    return out;
+}
+
 FsckReport
 Lfs::fsck() const
 {
@@ -30,22 +97,32 @@ Lfs::fsck() const
     const std::uint64_t log_end =
         sb.firstSegBlock + sb.numSegments * sb.segBlocks;
 
-    auto check_addr = [&](BlockAddr addr, const std::string &what) {
+    // Inodes whose block pointers are unusable: their data must not be
+    // read in later passes (the addresses may point anywhere).
+    std::set<InodeNum> damaged;
+
+    auto check_addr = [&](BlockAddr addr, InodeNum ino,
+                          const std::string &what) {
         if (addr == nullAddr)
             return false;
         if (addr < log_start || addr >= log_end) {
-            report.fail(what + ": address outside the log");
+            report.fail(FsckIssue::AddrOutsideLog, ino, addr,
+                        what + ": address outside the log");
+            damaged.insert(ino);
             return false;
         }
         const std::uint64_t seg = sb.segmentOfBlock(addr);
         const bool open_seg =
             segw->isOpen() && seg == segw->currentSegment();
         if (usage[seg].liveBytes == 0 && !open_seg) {
-            report.fail(what + ": block in a segment marked clean");
+            report.fail(FsckIssue::AddrInCleanSegment, ino, addr,
+                        what + ": block in a segment marked clean");
         }
         if (addr < sb.segmentStartBlock(seg) +
                        sb.summaryBlocksPerSegment()) {
-            report.fail(what + ": address points at a summary block");
+            report.fail(FsckIssue::AddrInSummaryArea, ino, addr,
+                        what + ": address points at a summary block");
+            damaged.insert(ino);
             return false;
         }
         return true;
@@ -63,11 +140,13 @@ Lfs::fsck() const
         if (!e.allocated())
             continue;
         allocated.insert(ino);
-        if (!check_addr(e.blockAddr, "imap[" + std::to_string(ino) + "]"))
+        if (!check_addr(e.blockAddr, ino,
+                        "imap[" + std::to_string(ino) + "]"))
             continue;
         if (e.slot >= sb.inodesPerBlock()) {
-            report.fail("imap slot out of range for inode " +
-                        std::to_string(ino));
+            report.fail(FsckIssue::ImapSlotRange, ino, e.blockAddr,
+                        "slot " + std::to_string(e.slot) +
+                            " out of range");
             continue;
         }
         std::vector<std::uint8_t> block(bs);
@@ -79,38 +158,60 @@ Lfs::fsck() const
         auto it = inodeCache.find(ino);
         const DiskInode &inode = it != inodeCache.end() ? it->second : di;
         if (it == inodeCache.end()) {
-            if (di.ino != ino)
-                report.fail("inode block slot holds wrong inode (want " +
-                            std::to_string(ino) + ")");
-            if (di.gen != e.gen)
-                report.fail("generation mismatch for inode " +
-                            std::to_string(ino));
+            if (di.ino != ino) {
+                report.fail(FsckIssue::WrongInodeSlot, ino, e.blockAddr,
+                            "slot holds inode " +
+                                std::to_string(di.ino));
+            }
+            if (di.gen != e.gen) {
+                report.fail(FsckIssue::GenMismatch, ino, e.blockAddr,
+                            "imap gen " + std::to_string(e.gen) +
+                                " != inode gen " +
+                                std::to_string(di.gen));
+            }
         }
-        if (inode.fileType() == FileType::Free)
-            report.fail("allocated inode " + std::to_string(ino) +
-                        " has Free type");
+        if (inode.fileType() == FileType::Free) {
+            report.fail(FsckIssue::FreeTypeAllocated, ino, e.blockAddr,
+                        "allocated inode has Free type");
+        }
     }
+
+    // Lookup that degrades to a structured verdict on corrupt media
+    // instead of propagating.
+    auto try_inode = [&](InodeNum ino) -> const DiskInode * {
+        try {
+            return &getInodeConst(ino);
+        } catch (const LfsError &e) {
+            report.fail(FsckIssue::CorruptMetadata, ino, nullAddr,
+                        e.what());
+            damaged.insert(ino);
+            return nullptr;
+        }
+    };
 
     // Pass 2: block trees.
     for (InodeNum ino : allocated) {
-        const DiskInode &inode = getInodeConst(ino);
+        const DiskInode *inodep = try_inode(ino);
+        if (!inodep)
+            continue;
+        const DiskInode &inode = *inodep;
         const std::string tag = "inode " + std::to_string(ino);
         std::vector<std::uint8_t> block(bs);
 
         for (unsigned i = 0; i < numDirect; ++i)
-            check_addr(inode.direct[i], tag + " direct");
+            check_addr(inode.direct[i], ino, tag + " direct");
 
         if (inode.indirect != nullAddr &&
-            check_addr(inode.indirect, tag + " indirect")) {
+            check_addr(inode.indirect, ino, tag + " indirect")) {
             readBlockAny(inode.indirect, {block.data(), block.size()});
             const auto *ptrs =
                 reinterpret_cast<const BlockAddr *>(block.data());
             for (std::uint32_t i = 0; i < ptrs_per; ++i)
-                check_addr(ptrs[i], tag + " ind-entry");
+                check_addr(ptrs[i], ino, tag + " ind-entry");
         }
 
         if (inode.dindirect != nullAddr &&
-            check_addr(inode.dindirect, tag + " dindirect")) {
+            check_addr(inode.dindirect, ino, tag + " dindirect")) {
             readBlockAny(inode.dindirect, {block.data(), block.size()});
             std::vector<BlockAddr> children(ptrs_per);
             std::memcpy(children.data(), block.data(),
@@ -118,26 +219,30 @@ Lfs::fsck() const
             for (std::uint32_t ci = 0; ci < ptrs_per; ++ci) {
                 if (children[ci] == nullAddr)
                     continue;
-                if (!check_addr(children[ci], tag + " ind2-child"))
+                if (!check_addr(children[ci], ino, tag + " ind2-child"))
                     continue;
                 readBlockAny(children[ci],
                              {block.data(), block.size()});
                 const auto *ptrs =
                     reinterpret_cast<const BlockAddr *>(block.data());
                 for (std::uint32_t i = 0; i < ptrs_per; ++i)
-                    check_addr(ptrs[i], tag + " ind2-entry");
+                    check_addr(ptrs[i], ino, tag + " ind2-entry");
             }
         }
 
         const std::uint64_t max_size =
             maxFileBlocks(bs) * std::uint64_t(bs);
-        if (inode.size > max_size)
-            report.fail(tag + " size beyond maximum");
+        if (inode.size > max_size) {
+            report.fail(FsckIssue::SizeBeyondMax, ino, nullAddr,
+                        "size " + std::to_string(inode.size) +
+                            " beyond maximum");
+        }
     }
 
     // Pass 3: namespace.
     if (root == nullIno || !allocated.count(root)) {
-        report.fail("missing root directory");
+        report.fail(FsckIssue::MissingRoot, root, nullAddr,
+                    "missing root directory");
         return report;
     }
     std::map<InodeNum, unsigned> link_count; // from directory entries
@@ -148,30 +253,52 @@ Lfs::fsck() const
     while (!queue.empty()) {
         const InodeNum dir = queue.front();
         queue.pop_front();
-        const DiskInode &dnode = getInodeConst(dir);
+        const DiskInode *dnodep = try_inode(dir);
+        if (!dnodep)
+            continue;
+        const DiskInode &dnode = *dnodep;
         if (dnode.fileType() != FileType::Directory) {
-            report.fail("walked a non-directory inode " +
-                        std::to_string(dir));
+            report.fail(FsckIssue::NotADirectory, dir, nullAddr,
+                        "walked a non-directory inode");
+            continue;
+        }
+        if (damaged.count(dir)) {
+            report.fail(FsckIssue::CorruptMetadata, dir, nullAddr,
+                        "directory data unreadable (bad pointers)");
+            continue;
+        }
+        std::vector<DirEntry> dents;
+        try {
+            dents = readDirEntries(dnode);
+        } catch (const LfsError &e) {
+            report.fail(FsckIssue::CorruptMetadata, dir, nullAddr,
+                        e.what());
             continue;
         }
         std::set<std::string> names;
-        for (const DirEntry &e : readDirEntries(dnode)) {
-            if (!names.insert(e.name).second)
-                report.fail("duplicate name '" + e.name +
-                            "' in directory " + std::to_string(dir));
+        for (const DirEntry &e : dents) {
+            if (!names.insert(e.name).second) {
+                report.fail(FsckIssue::DuplicateName, dir, nullAddr,
+                            "duplicate name '" + e.name + "'");
+            }
             if (!allocated.count(e.ino)) {
-                report.fail("entry '" + e.name +
-                            "' references unallocated inode " +
-                            std::to_string(e.ino));
+                report.fail(FsckIssue::EntryUnallocated, e.ino, nullAddr,
+                            "entry '" + e.name + "' in directory " +
+                                std::to_string(dir) +
+                                " references a free inode");
                 continue;
             }
             ++link_count[e.ino];
-            const DiskInode &child = getInodeConst(e.ino);
+            const DiskInode *childp = try_inode(e.ino);
+            if (!childp)
+                continue;
+            const DiskInode &child = *childp;
             if (child.fileType() == FileType::Directory) {
                 ++subdir_count[dir];
                 if (!visited.insert(e.ino).second) {
-                    report.fail("directory " + std::to_string(e.ino) +
-                                " has multiple parents");
+                    report.fail(FsckIssue::MultipleParents, e.ino,
+                                nullAddr,
+                                "directory has multiple parents");
                 } else {
                     queue.push_back(e.ino);
                 }
@@ -180,28 +307,36 @@ Lfs::fsck() const
     }
 
     for (InodeNum ino : allocated) {
-        const DiskInode &inode = getInodeConst(ino);
+        const DiskInode *inodep = try_inode(ino);
+        if (!inodep)
+            continue;
+        const DiskInode &inode = *inodep;
         if (inode.fileType() == FileType::Directory) {
             if (!visited.count(ino)) {
-                report.fail("orphan directory " + std::to_string(ino));
+                report.fail(FsckIssue::OrphanDirectory, ino, nullAddr,
+                            "directory not reachable from root");
                 continue;
             }
             const unsigned expect = 2 + subdir_count[ino];
             if (inode.nlink != expect) {
-                report.fail("directory " + std::to_string(ino) +
-                            " nlink " + std::to_string(inode.nlink) +
-                            " != " + std::to_string(expect));
+                report.fail(FsckIssue::BadNlink, ino, nullAddr,
+                            "directory nlink " +
+                                std::to_string(inode.nlink) + " != " +
+                                std::to_string(expect));
             }
         } else {
             const unsigned links = link_count.count(ino)
                                        ? link_count.at(ino)
                                        : 0;
-            if (links == 0)
-                report.fail("orphan file " + std::to_string(ino));
+            if (links == 0) {
+                report.fail(FsckIssue::OrphanFile, ino, nullAddr,
+                            "file with no directory entry");
+            }
             if (inode.nlink != links) {
-                report.fail("file " + std::to_string(ino) + " nlink " +
-                            std::to_string(inode.nlink) + " != " +
-                            std::to_string(links));
+                report.fail(FsckIssue::BadNlink, ino, nullAddr,
+                            "file nlink " +
+                                std::to_string(inode.nlink) + " != " +
+                                std::to_string(links));
             }
         }
     }

@@ -48,15 +48,24 @@ Lfs::getInodeConst(InodeNum ino) const
     const ImapEntry &e = imapEntryConst(ino);
     if (!e.allocated())
         throw LfsError(Errno::NoEntry, "inode not allocated");
+    if (e.blockAddr >= dev.numBlocks()) {
+        throw LfsError(Errno::Invalid,
+                       "imap block address out of range for inode " +
+                           std::to_string(ino));
+    }
 
     std::vector<std::uint8_t> block(sb.blockSize);
     readBlockAny(e.blockAddr, {block.data(), block.size()});
     DiskInode inode;
     std::memcpy(&inode, block.data() + std::size_t(e.slot) * inodeBytes,
                 sizeof(inode));
-    if (inode.ino != ino)
-        sim::panic("Lfs: inode block corrupt (want %u got %u)", ino,
-                   inode.ino);
+    if (inode.ino != ino) {
+        // Corrupt media, not a program bug: surface it to callers.
+        throw LfsError(Errno::Invalid,
+                       "inode block corrupt (want " +
+                           std::to_string(ino) + " got " +
+                           std::to_string(inode.ino) + ")");
+    }
     return inodeCache.emplace(ino, inode).first->second;
 }
 

@@ -84,18 +84,59 @@ struct FileExtent
     bool hole = false;          // unwritten range (reads as zero)
 };
 
-/** fsck() result. */
+/** Kinds of inconsistency fsck() can report. */
+enum class FsckIssue {
+    AddrOutsideLog,     // block pointer outside the segment log
+    AddrInCleanSegment, // pointer into a segment marked clean
+    AddrInSummaryArea,  // pointer at a segment summary block
+    ImapSlotRange,      // imap slot index out of range
+    WrongInodeSlot,     // inode block slot holds a different inode
+    GenMismatch,        // imap/inode generation disagree
+    FreeTypeAllocated,  // allocated inode has Free type
+    SizeBeyondMax,      // file size exceeds the format maximum
+    MissingRoot,        // root directory unreachable
+    NotADirectory,      // tree walk reached a non-directory inode
+    DuplicateName,      // directory holds the same name twice
+    EntryUnallocated,   // directory entry references a free inode
+    MultipleParents,    // directory reachable via two parents
+    OrphanDirectory,    // allocated directory not reachable from root
+    OrphanFile,         // allocated file with no directory entry
+    BadNlink,           // link count disagrees with the entry count
+    CorruptMetadata,    // unreadable inode/directory structure
+};
+
+/** Printable name of an FsckIssue ("addr-outside-log", ...). */
+const char *fsckIssueName(FsckIssue kind);
+
+/** One structural inconsistency found by fsck(). */
+struct FsckInconsistency
+{
+    FsckIssue kind;
+    InodeNum ino = nullIno;  // involved inode (nullIno if n/a)
+    BlockAddr addr = nullAddr; // involved block (nullAddr if n/a)
+    std::string detail;      // human-readable specifics
+
+    /** Stable one-line rendering ("addr-outside-log ino=3 ..."). */
+    std::string str() const;
+};
+
+/** fsck() result: a structured verdict, not just a boolean. */
 struct FsckReport
 {
     bool ok = true;
-    std::vector<std::string> problems;
+    std::vector<FsckInconsistency> issues;
 
     void
-    fail(std::string p)
+    fail(FsckIssue kind, InodeNum ino, BlockAddr addr,
+         std::string detail)
     {
         ok = false;
-        problems.push_back(std::move(p));
+        issues.push_back(FsckInconsistency{kind, ino, addr,
+                                           std::move(detail)});
     }
+
+    /** Rendered issues, one line each (for logs and test output). */
+    std::vector<std::string> problems() const;
 };
 
 /** The file system. */

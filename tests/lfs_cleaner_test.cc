@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "fs/fault_device.hh"
 #include "fs/mem_block_device.hh"
 #include "lfs/lfs.hh"
 #include "sim/random.hh"
@@ -209,6 +210,106 @@ TEST(LfsCleaner, IndirectBlocksRelocateCorrectly)
               data.size());
     EXPECT_EQ(back, data);
     EXPECT_TRUE(fs.fsck().ok);
+}
+
+/**
+ * Cleaning x recovery: kill the device partway through a cleaning
+ * pass at several different write counts.  The cleaner only copies
+ * blocks — victims are not reused until after a checkpoint — so no
+ * live data may be lost, the usage table must stay consistent
+ * (fsck checks every pointer against it), and a fresh cleaning pass
+ * after remount must still make progress.
+ */
+class CleanerCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CleanerCrash, MidCleanCrashLosesNoLiveData)
+{
+    const std::uint64_t crash_after = 1 + GetParam() * 5;
+
+    fs::MemBlockDevice media(4096, 8192);
+    fs::FaultDevice dev(media);
+    Lfs::format(dev, smallParams());
+    std::vector<std::uint8_t> keep_ref;
+    {
+        Lfs fs(dev);
+        const auto keep = fs.create("/keep");
+        const auto kill = fs.create("/kill");
+        const std::uint64_t piece = 64 * 1024;
+        for (int i = 0; i < 20; ++i) {
+            const auto dk = pattern(piece, 300 + i);
+            fs.write(keep, std::uint64_t(i) * piece,
+                     {dk.data(), dk.size()});
+            keep_ref.insert(keep_ref.end(), dk.begin(), dk.end());
+            const auto dx = pattern(piece, 400 + i);
+            fs.write(kill, std::uint64_t(i) * piece,
+                     {dx.data(), dx.size()});
+        }
+        fs.sync();
+        fs.unlink("/kill");
+        fs.checkpoint();
+        // Crash mid-clean: some relocated blocks land, some don't.
+        dev.setWriteLimit(crash_after);
+        try {
+            fs.clean(static_cast<unsigned>(fs.totalSegments()));
+        } catch (...) {
+        }
+    }
+    dev.heal();
+    Lfs fs(dev);
+    EXPECT_TRUE(fs.fsck().ok) << "after mid-clean crash";
+    std::vector<std::uint8_t> back(keep_ref.size());
+    ASSERT_EQ(fs.read(fs.lookup("/keep"), 0,
+                      {back.data(), back.size()}),
+              keep_ref.size());
+    EXPECT_EQ(back, keep_ref);
+
+    // Cleaning must still work on the recovered image.
+    EXPECT_GT(fs.clean(static_cast<unsigned>(fs.totalSegments())), 0u);
+    EXPECT_TRUE(fs.fsck().ok) << "after post-recovery clean";
+    std::fill(back.begin(), back.end(), 0);
+    fs.read(fs.lookup("/keep"), 0, {back.data(), back.size()});
+    EXPECT_EQ(back, keep_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, CleanerCrash,
+                         ::testing::Range(0, 6));
+
+TEST(LfsCleaner, CrashAfterCleanBeforeCheckpointKeepsData)
+{
+    // A completed cleaning pass that is never checkpointed: recovery
+    // starts from the pre-clean checkpoint, where the victims' old
+    // block addresses are still valid because the cleaner never
+    // overwrites them in place.
+    fs::MemBlockDevice media(4096, 8192);
+    fs::FaultDevice dev(media);
+    Lfs::format(dev, smallParams());
+    std::vector<std::uint8_t> ref;
+    {
+        Lfs fs(dev);
+        const auto keep = fs.create("/keep");
+        const auto kill = fs.create("/kill");
+        const auto junk = pattern(512 * 1024, 31);
+        fs.write(kill, 0, {junk.data(), junk.size()});
+        ref = pattern(512 * 1024, 32);
+        fs.write(keep, 0, {ref.data(), ref.size()});
+        fs.sync();
+        fs.unlink("/kill");
+        fs.checkpoint();
+        EXPECT_GT(fs.clean(
+                      static_cast<unsigned>(fs.totalSegments())),
+                  0u);
+        dev.setWriteLimit(0); // crash before the next checkpoint
+    }
+    dev.heal();
+    Lfs fs(dev);
+    EXPECT_TRUE(fs.fsck().ok);
+    std::vector<std::uint8_t> back(ref.size());
+    ASSERT_EQ(fs.read(fs.lookup("/keep"), 0,
+                      {back.data(), back.size()}),
+              ref.size());
+    EXPECT_EQ(back, ref);
 }
 
 } // namespace

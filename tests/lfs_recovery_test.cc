@@ -137,6 +137,130 @@ TEST(LfsRecovery, TornSegmentEndsRollForward)
     EXPECT_TRUE(fs.fsck().ok);
 }
 
+TEST(LfsRecovery, CrossDirRenameAcrossSegmentBoundarySurvivesCrash)
+{
+    // Regression: a cross-directory rename whose metadata (two
+    // directory rewrites + inode/imap flush) straddles a segment
+    // boundary must roll forward atomically — the file appears at the
+    // new path only, never at both or neither.
+    fs::MemBlockDevice media(4096, 16384);
+    fs::FaultDevice dev(media);
+    Lfs::format(dev, smallParams());
+    const auto data = pattern(60000, 11);
+    {
+        Lfs fs(dev);
+        fs.mkdir("/src");
+        fs.mkdir("/dst");
+        // Populate both directories so each directory rewrite spans
+        // multiple blocks — the rename alone then writes more than the
+        // few blocks we leave free in the open segment.
+        for (int i = 0; i < 600; ++i) {
+            fs.create("/src/e" + std::to_string(i));
+            fs.create("/dst/e" + std::to_string(i));
+        }
+        const auto ino = fs.create("/src/f");
+        fs.write(ino, 0, {data.data(), data.size()});
+        fs.checkpoint();
+        // Probe the open segment's data capacity by filling it one
+        // block at a time, then stop three blocks short of closing
+        // the next so the rename records must spill across.
+        const auto filler_ino = fs.create("/filler");
+        const auto blk = pattern(4096, 12);
+        std::uint64_t off = 0;
+        const auto seg0 = fs.stats().segmentsWritten;
+        std::uint64_t cap = 0;
+        while (fs.stats().segmentsWritten == seg0) {
+            fs.write(filler_ino, off, {blk.data(), blk.size()});
+            off += blk.size();
+            ++cap;
+        }
+        for (std::uint64_t i = 0; i + 3 < cap; ++i) {
+            fs.write(filler_ino, off, {blk.data(), blk.size()});
+            off += blk.size();
+        }
+        const auto before = fs.stats().segmentsWritten;
+        fs.rename("/src/f", "/dst/f");
+        fs.sync();
+        ASSERT_GE(fs.stats().segmentsWritten, before + 2)
+            << "rename metadata stayed within one segment; "
+               "the test no longer exercises the boundary case";
+        // Crash with the rename synced but not checkpointed.
+        dev.setWriteLimit(0);
+    }
+    dev.heal();
+    Lfs fs(dev);
+    EXPECT_GT(fs.stats().rollForwardSegments, 0u);
+    EXPECT_FALSE(fs.exists("/src/f"));
+    ASSERT_TRUE(fs.exists("/dst/f"));
+    const auto st = fs.stat("/dst/f");
+    ASSERT_EQ(st.size, data.size());
+    std::vector<std::uint8_t> back(data.size());
+    fs.read(st.ino, 0, {back.data(), back.size()});
+    EXPECT_EQ(back, data);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsRecovery, RenameOverExistingSurvivesCrashBeforeCheckpoint)
+{
+    // rename("/a", "/b") where /b already exists replaces it.  After a
+    // sync and a crash (no checkpoint), recovery must show exactly one
+    // file at /b carrying /a's bytes, with /b's old inode freed.
+    fs::MemBlockDevice media(4096, 16384);
+    fs::FaultDevice dev(media);
+    Lfs::format(dev, smallParams());
+    const auto da = pattern(30000, 21);
+    const auto db = pattern(12000, 22);
+    {
+        Lfs fs(dev);
+        fs.write(fs.create("/a"), 0, {da.data(), da.size()});
+        fs.write(fs.create("/b"), 0, {db.data(), db.size()});
+        fs.checkpoint();
+        fs.rename("/a", "/b");
+        fs.sync();
+        dev.setWriteLimit(0);
+    }
+    dev.heal();
+    Lfs fs(dev);
+    EXPECT_FALSE(fs.exists("/a"));
+    ASSERT_TRUE(fs.exists("/b"));
+    const auto st = fs.stat("/b");
+    ASSERT_EQ(st.size, da.size());
+    std::vector<std::uint8_t> back(da.size());
+    fs.read(st.ino, 0, {back.data(), back.size()});
+    EXPECT_EQ(back, da);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
+TEST(LfsRecovery, UnsyncedRenameRollsBackCleanly)
+{
+    // The mirror case: the rename never reaches the log, so recovery
+    // must restore the pre-rename namespace with both files intact.
+    fs::MemBlockDevice media(4096, 16384);
+    fs::FaultDevice dev(media);
+    Lfs::format(dev, smallParams());
+    const auto da = pattern(30000, 23);
+    const auto db = pattern(12000, 24);
+    {
+        Lfs fs(dev);
+        fs.write(fs.create("/a"), 0, {da.data(), da.size()});
+        fs.write(fs.create("/b"), 0, {db.data(), db.size()});
+        fs.checkpoint();
+        fs.rename("/a", "/b");
+        dev.setWriteLimit(0); // crash before any sync
+    }
+    dev.heal();
+    Lfs fs(dev);
+    ASSERT_TRUE(fs.exists("/a"));
+    ASSERT_TRUE(fs.exists("/b"));
+    std::vector<std::uint8_t> back_a(da.size());
+    fs.read(fs.lookup("/a"), 0, {back_a.data(), back_a.size()});
+    EXPECT_EQ(back_a, da);
+    std::vector<std::uint8_t> back_b(db.size());
+    fs.read(fs.lookup("/b"), 0, {back_b.data(), back_b.size()});
+    EXPECT_EQ(back_b, db);
+    EXPECT_TRUE(fs.fsck().ok);
+}
+
 TEST(LfsRecovery, CrashDuringCheckpointFallsBackToPrevious)
 {
     fs::MemBlockDevice media(4096, 16384);

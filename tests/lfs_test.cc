@@ -52,7 +52,7 @@ struct LfsFixture : public ::testing::Test
     {
         const auto report = fs->fsck();
         EXPECT_TRUE(report.ok);
-        for (const auto &p : report.problems)
+        for (const auto &p : report.problems())
             ADD_FAILURE() << "fsck: " << p;
     }
 };
