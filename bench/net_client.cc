@@ -72,13 +72,12 @@ run(bool reads, bool polling_driver, bench::Reporter *rep = nullptr)
             finished = true;
             return;
         }
-        auto cont = [&](server::RaidFileClient::Status st,
-                        std::uint64_t n) {
-            if (st != server::RaidFileClient::Status::Ok) {
+        auto cont = [&](const server::RaidFileClient::Result &r) {
+            if (!r.ok()) {
                 std::fprintf(stderr, "net_client: transfer failed\n");
                 std::exit(1);
             }
-            moved += n;
+            moved += r.bytes;
             step();
         };
         if (reads)
@@ -87,14 +86,13 @@ run(bool reads, bool polling_driver, bench::Reporter *rep = nullptr)
             lib.raidWrite(handle, req, cont);
     };
     lib.raidOpen("/movie", !reads,
-                 [&](server::RaidFileClient::Status st,
-                     server::RaidFileClient::Handle h) {
-                     if (st != server::RaidFileClient::Status::Ok) {
+                 [&](const server::RaidFileClient::Result &r) {
+                     if (!r.ok()) {
                          std::fprintf(stderr,
                                       "net_client: open failed\n");
                          std::exit(1);
                      }
-                     handle = h;
+                     handle = r.handle;
                      start = eq.now();
                      step();
                  });

@@ -62,12 +62,11 @@ serveFile(std::uint64_t bytes)
         bool done = false;
         sim::Tick t0 = 0;
         lib.raidOpen("/file", false,
-                     [&](server::RaidFileClient::Status,
-                         server::RaidFileClient::Handle h) {
+                     [&](const server::RaidFileClient::Result &open) {
                          t0 = eq.now();
-                         lib.raidRead(h, bytes,
-                                      [&](server::RaidFileClient::Status,
-                                          std::uint64_t) {
+                         lib.raidRead(open.handle, bytes,
+                                      [&](const server::RaidFileClient::
+                                              Result &) {
                                           done = true;
                                       });
                      });

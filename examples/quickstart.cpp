@@ -65,25 +65,23 @@ main()
             return;
         }
         lib.raidWrite(handle, req,
-                      [&](server::RaidFileClient::Status st,
-                          std::uint64_t n) {
-                          if (st != server::RaidFileClient::Status::Ok) {
+                      [&](const server::RaidFileClient::Result &r) {
+                          if (!r.ok()) {
                               std::printf("raid_write failed\n");
                               std::exit(1);
                           }
-                          written += n;
+                          written += r.bytes;
                           write_next();
                       });
     };
     server.fs().mkdir("/demo"); // parent directory for the new file
     lib.raidOpen("/demo/movie.bin", /*create=*/true,
-                 [&](server::RaidFileClient::Status st,
-                     server::RaidFileClient::Handle h) {
-                     if (st != server::RaidFileClient::Status::Ok) {
+                 [&](const server::RaidFileClient::Result &r) {
+                     if (!r.ok()) {
                          std::printf("raid_open failed\n");
                          std::exit(1);
                      }
-                     handle = h;
+                     handle = r.handle;
                      write_start = eq.now();
                      write_next();
                  });
@@ -103,13 +101,12 @@ main()
             return;
         }
         lib.raidRead(handle, req,
-                     [&](server::RaidFileClient::Status st,
-                         std::uint64_t n) {
-                         if (st != server::RaidFileClient::Status::Ok) {
+                     [&](const server::RaidFileClient::Result &r) {
+                         if (!r.ok()) {
                              std::printf("raid_read failed\n");
                              std::exit(1);
                          }
-                         read_back += n;
+                         read_back += r.bytes;
                          read_next();
                      });
     };

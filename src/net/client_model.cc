@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/stats_registry.hh"
+
 namespace raid2::net {
 
 ClientModel::ClientModel(sim::EventQueue &eq, std::string name,
@@ -15,6 +17,13 @@ ClientModel::ClientModel(sim::EventQueue &eq, std::string name,
 ClientModel::ClientModel(sim::EventQueue &eq, std::string name)
     : ClientModel(eq, std::move(name), Config{})
 {
+}
+
+void
+ClientModel::registerStats(sim::StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    _nic.registerStats(reg, prefix + ".nic");
 }
 
 } // namespace raid2::net

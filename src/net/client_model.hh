@@ -50,6 +50,10 @@ class ClientModel
     sim::Service &nic() { return _nic; }
     const std::string &name() const { return _name; }
 
+    /** Register the NIC station's stats under "<prefix>.nic". */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::string _name;
     Config cfg;

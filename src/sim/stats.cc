@@ -106,6 +106,21 @@ Histogram::quantile(double q) const
     return bucketHi(counts.size() - 1);
 }
 
+double
+exactQuantile(std::vector<double> &samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
 void
 Histogram::print(std::ostream &os, const std::string &label) const
 {

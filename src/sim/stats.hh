@@ -87,6 +87,15 @@ class Histogram
 };
 
 /**
+ * Exact q-quantile (q in [0,1]) of a sample set by linear
+ * interpolation between order statistics; sorts @p samples in place.
+ * Returns 0 for an empty set.  Tail percentiles (p99/p999) from a
+ * fixed-bucket Histogram are only as good as the bucket width, so
+ * latency-curve benches keep the raw samples and use this instead.
+ */
+double exactQuantile(std::vector<double> &samples, double q);
+
+/**
  * Utilization tracker for a resource: accumulates busy time so a bench
  * can report fraction-busy over an interval.
  */

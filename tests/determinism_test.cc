@@ -18,8 +18,11 @@
 
 #include "bench_util.hh"
 #include "server/raid2_server.hh"
+#include "server/request_scheduler.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/stats_registry.hh"
+#include "workload/client_fleet.hh"
 #include "workload/generators.hh"
 
 namespace {
@@ -137,6 +140,57 @@ TEST(Determinism, ParallelSweepMatchesSerialExactly)
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(parallel[i], serial[i]) << "row " << i;
+}
+
+/** One client-fleet sweep point: a fresh world per offered load, as
+ *  bench/load_latency runs it. */
+std::vector<double>
+fleetPoint(double offered_ops)
+{
+    sim::EventQueue eq;
+    auto cfg = bench::lfsConfig();
+    cfg.fsDeviceBytes = 96ull * 1024 * 1024;
+    server::Raid2Server srv(eq, "srv", cfg);
+    server::RequestScheduler sched(eq, srv);
+
+    workload::ClientFleet::Config fc;
+    fc.sessions = 32;
+    fc.mode = workload::ClientFleet::Mode::Open;
+    fc.offeredOpsPerSec = offered_ops;
+    fc.duration = sim::secToTicks(1.0);
+    fc.fileCount = 4;
+    fc.fileBytes = 512 * 1024;
+    fc.bulkBytes = 256 * 1024;
+    const auto r = workload::ClientFleet::run(eq, srv, sched, fc);
+
+    auto lat = r.fast.latencyMs;
+    lat.insert(lat.end(), r.standard.latencyMs.begin(),
+               r.standard.latencyMs.end());
+    return {static_cast<double>(r.elapsed),
+            static_cast<double>(r.ops),
+            static_cast<double>(r.bytes),
+            static_cast<double>(r.retries),
+            sim::exactQuantile(lat, 0.99)};
+}
+
+TEST(Determinism, FleetSweepMatchesSerialExactly)
+{
+    const std::vector<double> offered = {50, 150, 300};
+    auto body = [&](std::size_t i) { return fleetPoint(offered[i]); };
+
+    std::vector<std::vector<double>> serial(offered.size());
+    for (std::size_t i = 0; i < offered.size(); ++i)
+        serial[i] = body(i);
+
+    setenv("RAID2_BENCH_THREADS", "3", /*overwrite=*/1);
+    const auto parallel = bench::runSweepParallel(offered.size(), body);
+    unsetenv("RAID2_BENCH_THREADS");
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(parallel[i], serial[i]) << "row " << i;
+    for (const auto &row : serial)
+        EXPECT_GT(row[1], 0.0); // every point did real work
 }
 
 TEST(Determinism, SweepRunnerPreservesIndexOrder)

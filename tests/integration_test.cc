@@ -209,32 +209,29 @@ TEST(Integration, ConcurrentClientsShareTheServer)
 
     int finished = 0;
     auto drive = [&](server::RaidFileClient &lib) {
-        lib.raidOpen("/shared", false,
-                     [&, plib = &lib](server::RaidFileClient::Status st,
-                                      server::RaidFileClient::Handle h) {
-                         ASSERT_EQ(st,
-                                   server::RaidFileClient::Status::Ok);
-                         auto next =
-                             std::make_shared<std::function<void()>>();
-                         *next = [&finished, plib, h, next]() {
-                             plib->raidRead(
-                                 h, sim::MB,
-                                 [&finished, next](
-                                     server::RaidFileClient::Status rst,
-                                     std::uint64_t n) {
-                                     EXPECT_EQ(
-                                         rst,
-                                         server::RaidFileClient::Status::
-                                             Ok);
-                                     if (n == 0) {
-                                         ++finished;
-                                         return;
-                                     }
-                                     (*next)();
-                                 });
-                         };
-                         (*next)();
-                     });
+        using Result = server::RaidFileClient::Result;
+        lib.raidOpen(
+            "/shared", false, [&, plib = &lib](const Result &open) {
+                ASSERT_EQ(open.status,
+                          server::RaidFileClient::Status::Ok);
+                const auto h = open.handle;
+                auto next = std::make_shared<std::function<void()>>();
+                *next = [&finished, plib, h, next]() {
+                    plib->raidRead(
+                        h, sim::MB,
+                        [&finished, next](const Result &r) {
+                            EXPECT_EQ(
+                                r.status,
+                                server::RaidFileClient::Status::Ok);
+                            if (r.bytes == 0) {
+                                ++finished;
+                                return;
+                            }
+                            (*next)();
+                        });
+                };
+                (*next)();
+            });
     };
     drive(lib1);
     drive(lib2);

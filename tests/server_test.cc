@@ -299,22 +299,25 @@ TEST(FileProtocol, OpenReadWriteRoundTrip)
     net::ClientModel client(eq, "c");
     server::RaidFileClient lib(eq, srv, client, ring);
 
+    using Result = server::RaidFileClient::Result;
     using Status = server::RaidFileClient::Status;
     server::RaidFileClient::Handle h = 0;
     std::uint64_t wrote = 0, read = 0;
     bool finished = false;
-    lib.raidOpen("/data", true,
-                 [&](Status st, server::RaidFileClient::Handle hh) {
-        ASSERT_EQ(st, Status::Ok);
-        h = hh;
-        lib.raidWrite(h, 256 * 1024, [&](Status wst, std::uint64_t n) {
-            EXPECT_EQ(wst, Status::Ok);
-            wrote = n;
-            lib.raidSeek(h, 0);
-            lib.raidRead(h, 256 * 1024, [&](Status rst,
-                                            std::uint64_t m) {
-                EXPECT_EQ(rst, Status::Ok);
-                read = m;
+    lib.raidOpen("/data", true, [&](const Result &open) {
+        ASSERT_EQ(open.status, Status::Ok);
+        ASSERT_TRUE(open.ok());
+        h = open.handle;
+        lib.raidWrite(h, 256 * 1024, [&](const Result &w) {
+            EXPECT_EQ(w.status, Status::Ok);
+            wrote = w.bytes;
+            // The Result timestamps bracket the op.
+            EXPECT_LT(w.issued, w.completed);
+            EXPECT_GT(w.latencyMs(), 0.0);
+            EXPECT_EQ(lib.raidSeek(h, 0), Status::Ok);
+            lib.raidRead(h, 256 * 1024, [&](const Result &r) {
+                EXPECT_EQ(r.status, Status::Ok);
+                read = r.bytes;
                 finished = true;
             });
         });
@@ -322,9 +325,53 @@ TEST(FileProtocol, OpenReadWriteRoundTrip)
     eq.runUntilDone([&] { return finished; });
     EXPECT_EQ(wrote, 256u * 1024);
     EXPECT_EQ(read, 256u * 1024);
-    EXPECT_EQ(lib.position(h), 256u * 1024);
+    ASSERT_TRUE(lib.position(h).has_value());
+    EXPECT_EQ(lib.position(h).value(), 256u * 1024);
     EXPECT_EQ(srv.fs().stat("/data").size, 256u * 1024);
-    lib.raidClose(h);
+    EXPECT_EQ(lib.raidClose(h), Status::Ok);
+}
+
+TEST(FileProtocol, PositionalOpsLeaveCursorAlone)
+{
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig(true));
+    net::UltranetFabric ring(eq, "u");
+    net::ClientModel client(eq, "c");
+    server::RaidFileClient lib(eq, srv, client, ring);
+
+    using Result = server::RaidFileClient::Result;
+    using Status = server::RaidFileClient::Status;
+    server::RaidFileClient::Handle h = 0;
+    int finished = 0;
+    lib.raidOpen("/p", true, [&](const Result &open) {
+        ASSERT_EQ(open.status, Status::Ok);
+        h = open.handle;
+        // Two positional writes in flight on one handle at once —
+        // impossible with the cursor API.
+        lib.raidPWrite(h, 0, 128 * 1024, [&](const Result &r) {
+            EXPECT_EQ(r.status, Status::Ok);
+            EXPECT_EQ(r.bytes, 128u * 1024);
+            ++finished;
+        });
+        lib.raidPWrite(h, 128 * 1024, 128 * 1024,
+                       [&](const Result &r) {
+                           EXPECT_EQ(r.status, Status::Ok);
+                           ++finished;
+                       });
+    });
+    eq.runUntilDone([&] { return finished == 2; });
+    ASSERT_TRUE(lib.position(h).has_value());
+    EXPECT_EQ(lib.position(h).value(), 0u); // cursor untouched
+    EXPECT_EQ(srv.fs().stat("/p").size, 256u * 1024);
+
+    bool read_done = false;
+    lib.raidPRead(h, 64 * 1024, 64 * 1024, [&](const Result &r) {
+        EXPECT_EQ(r.status, Status::Ok);
+        EXPECT_EQ(r.bytes, 64u * 1024);
+        read_done = true;
+    });
+    eq.runUntilDone([&] { return read_done; });
+    EXPECT_EQ(lib.position(h).value(), 0u);
 }
 
 TEST(FileProtocol, ReadPastEofReturnsShort)
@@ -339,20 +386,21 @@ TEST(FileProtocol, ReadPastEofReturnsShort)
     std::vector<std::uint8_t> d(100, 1);
     srv.fs().write(ino, 0, {d.data(), d.size()});
 
+    using Result = server::RaidFileClient::Result;
     using Status = server::RaidFileClient::Status;
     std::uint64_t got = 1234;
     bool finished = false;
-    lib.raidOpen("/tiny", false,
-                 [&](Status st, server::RaidFileClient::Handle h) {
-        ASSERT_EQ(st, Status::Ok);
-        lib.raidRead(h, 4096, [&, h](Status rst, std::uint64_t n) {
-            EXPECT_EQ(rst, Status::Ok);
-            got = n;
-            lib.raidRead(h, 4096, [&](Status rst2, std::uint64_t n2) {
+    lib.raidOpen("/tiny", false, [&](const Result &open) {
+        ASSERT_EQ(open.status, Status::Ok);
+        const auto h = open.handle;
+        lib.raidRead(h, 4096, [&, h](const Result &r) {
+            EXPECT_EQ(r.status, Status::Ok);
+            got = r.bytes;
+            lib.raidRead(h, 4096, [&](const Result &r2) {
                 // Reading at EOF is a success with zero bytes, not an
                 // error.
-                EXPECT_EQ(rst2, Status::Ok);
-                EXPECT_EQ(n2, 0u);
+                EXPECT_EQ(r2.status, Status::Ok);
+                EXPECT_EQ(r2.bytes, 0u);
                 finished = true;
             });
         });
@@ -369,14 +417,15 @@ TEST(FileProtocol, OpenMissingFileReportsNotFound)
     net::ClientModel client(eq, "c");
     server::RaidFileClient lib(eq, srv, client, ring);
 
+    using Result = server::RaidFileClient::Result;
     using Status = server::RaidFileClient::Status;
     bool finished = false;
-    lib.raidOpen("/no/such/file", false,
-                 [&](Status st, server::RaidFileClient::Handle h) {
-                     EXPECT_EQ(st, Status::NotFound);
-                     EXPECT_EQ(h, server::RaidFileClient::invalidHandle);
-                     finished = true;
-                 });
+    lib.raidOpen("/no/such/file", false, [&](const Result &r) {
+        EXPECT_EQ(r.status, Status::NotFound);
+        EXPECT_FALSE(r.ok());
+        EXPECT_EQ(r.handle, server::RaidFileClient::invalidHandle);
+        finished = true;
+    });
     eq.runUntilDone([&] { return finished; });
     EXPECT_TRUE(finished);
 }
@@ -389,26 +438,59 @@ TEST(FileProtocol, ClosedHandleReportsBadHandle)
     net::ClientModel client(eq, "c");
     server::RaidFileClient lib(eq, srv, client, ring);
 
+    using Result = server::RaidFileClient::Result;
     using Status = server::RaidFileClient::Status;
     srv.createFile("/f");
     int finished = 0;
-    lib.raidOpen("/f", false,
-                 [&](Status st, server::RaidFileClient::Handle h) {
-        ASSERT_EQ(st, Status::Ok);
+    lib.raidOpen("/f", false, [&](const Result &open) {
+        ASSERT_EQ(open.status, Status::Ok);
+        const auto h = open.handle;
         lib.raidClose(h);
-        lib.raidRead(h, 4096, [&](Status rst, std::uint64_t n) {
-            EXPECT_EQ(rst, Status::BadHandle);
-            EXPECT_EQ(n, 0u);
+        lib.raidRead(h, 4096, [&](const Result &r) {
+            EXPECT_EQ(r.status, Status::BadHandle);
+            EXPECT_EQ(r.bytes, 0u);
             ++finished;
         });
-        lib.raidWrite(h, 4096, [&](Status wst, std::uint64_t n) {
-            EXPECT_EQ(wst, Status::BadHandle);
-            EXPECT_EQ(n, 0u);
+        lib.raidWrite(h, 4096, [&](const Result &r) {
+            EXPECT_EQ(r.status, Status::BadHandle);
+            EXPECT_EQ(r.bytes, 0u);
             ++finished;
         });
     });
     eq.runUntilDone([&] { return finished == 2; });
     EXPECT_EQ(finished, 2);
+}
+
+TEST(FileProtocol, SeekAndPositionOnBadHandleDontDie)
+{
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig(true));
+    net::UltranetFabric ring(eq, "u");
+    net::ClientModel client(eq, "c");
+    server::RaidFileClient lib(eq, srv, client, ring);
+
+    using Result = server::RaidFileClient::Result;
+    using Status = server::RaidFileClient::Status;
+
+    // Never-opened handle: these used to call sim::fatal and abort.
+    EXPECT_EQ(lib.raidSeek(42, 0), Status::BadHandle);
+    EXPECT_FALSE(lib.position(42).has_value());
+    EXPECT_EQ(lib.raidClose(42), Status::BadHandle);
+
+    srv.createFile("/f");
+    bool finished = false;
+    lib.raidOpen("/f", false, [&](const Result &open) {
+        ASSERT_EQ(open.status, Status::Ok);
+        const auto h = open.handle;
+        EXPECT_EQ(lib.raidClose(h), Status::Ok);
+        // Closed handle: same contract.
+        EXPECT_EQ(lib.raidSeek(h, 0), Status::BadHandle);
+        EXPECT_FALSE(lib.position(h).has_value());
+        EXPECT_EQ(lib.raidClose(h), Status::BadHandle);
+        finished = true;
+    });
+    eq.runUntilDone([&] { return finished; });
+    EXPECT_TRUE(finished);
 }
 
 } // namespace
