@@ -245,11 +245,8 @@ CrashExplorer::capture(const std::vector<Op> &ops,
     lfs::Lfs fs(dev); // creates the root directory + first checkpoint
 
     cap.base.resize(std::size_t(cfg.numBlocks) * cfg.blockSize);
-    for (std::uint64_t b = 0; b < cfg.numBlocks; ++b) {
-        const auto raw = media.raw(b);
-        std::copy(raw.begin(), raw.end(),
-                  cap.base.begin() + std::size_t(b) * cfg.blockSize);
-    }
+    media.readRange(0, cfg.numBlocks,
+                    {cap.base.data(), cap.base.size()});
 
     dev.attachWriteLog(&cap.log);
     fs.setAutoClean(cfg.autoClean);
@@ -273,7 +270,9 @@ CrashExplorer::capture(const std::vector<Op> &ops,
 std::pair<std::size_t, std::size_t>
 CrashExplorer::versionRange(const Capture &cap, const TrialSpec &spec)
 {
-    const auto &entries = cap.log.entries();
+    // cut/target and Barrier::at all index the log's flat block space
+    // (WriteLog::numBlocks), independent of how writes coalesced into
+    // extent entries.
     const auto &barriers = cap.log.barriers();
 
     // Durability lower bound: the newest barrier whose writes all
@@ -305,7 +304,7 @@ CrashExplorer::versionRange(const Capture &cap, const TrialSpec &spec)
             spec.target == last && last > 0) {
             --last;
         }
-        hi = std::max<std::size_t>(lo, entries.at(last).tag + 1);
+        hi = std::max<std::size_t>(lo, cap.log.blockAt(last).tag + 1);
     }
     return {lo, hi};
 }
@@ -321,46 +320,51 @@ runTrialFrom(const Capture &cap, const TrialSpec &spec,
              const std::vector<std::uint8_t> &base_image,
              std::size_t base_count)
 {
-    const auto &entries = cap.log.entries();
     TrialResult result;
 
     OverlayDevice overlay(cap.cfg.blockSize, base_image);
     fs::FaultDevice dev(overlay);
 
-    // Rebuild the post-crash image: writes [base_count, cut) with the
-    // spec's perturbation, injected through the FaultDevice.
-    for (std::size_t i = base_count; i < spec.cut; ++i) {
-        const auto &e = entries[i];
-        if (i == spec.target && spec.mode != TrialSpec::Mode::Cut) {
-            switch (spec.mode) {
-              case TrialSpec::Mode::Torn:
-                dev.setWriteLimit(0);
-                dev.setTearOnCrash(true);
-                dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
-                dev.heal();
-                dev.setTearOnCrash(false);
-                break;
-              case TrialSpec::Mode::Dropped:
-                dev.setWriteLimit(0);
-                dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
-                dev.heal();
-                break;
-              case TrialSpec::Mode::Corrupt: {
-                std::vector<std::uint8_t> bad = e.data;
-                const std::size_t n =
-                    std::min<std::size_t>(64, bad.size());
-                for (std::size_t k = 0; k < n; ++k)
-                    bad[k] ^= spec.xorMask;
-                dev.writeBlock(e.bno, {bad.data(), bad.size()});
-                break;
-              }
-              case TrialSpec::Mode::Cut:
-                break;
+    // Rebuild the post-crash image: blocks [base_count, cut) of the
+    // flat log with the spec's perturbation, injected through the
+    // FaultDevice.  Crash points index blocks, not extent entries, so
+    // coalesced captures enumerate the same states per-block captures
+    // did.
+    cap.log.forEachBlockIn(
+        base_count, spec.cut,
+        [&](std::size_t i, std::uint64_t bno,
+            std::span<const std::uint8_t> data) {
+            if (i == spec.target && spec.mode != TrialSpec::Mode::Cut) {
+                switch (spec.mode) {
+                  case TrialSpec::Mode::Torn:
+                    dev.setWriteLimit(0);
+                    dev.setTearOnCrash(true);
+                    dev.writeBlock(bno, data);
+                    dev.heal();
+                    dev.setTearOnCrash(false);
+                    break;
+                  case TrialSpec::Mode::Dropped:
+                    dev.setWriteLimit(0);
+                    dev.writeBlock(bno, data);
+                    dev.heal();
+                    break;
+                  case TrialSpec::Mode::Corrupt: {
+                    std::vector<std::uint8_t> bad(data.begin(),
+                                                  data.end());
+                    const std::size_t n =
+                        std::min<std::size_t>(64, bad.size());
+                    for (std::size_t k = 0; k < n; ++k)
+                        bad[k] ^= spec.xorMask;
+                    dev.writeBlock(bno, {bad.data(), bad.size()});
+                    break;
+                  }
+                  case TrialSpec::Mode::Cut:
+                    break;
+                }
+                return;
             }
-            continue;
-        }
-        dev.writeBlock(e.bno, {e.data.data(), e.data.size()});
-    }
+            dev.writeBlock(bno, data);
+        });
 
     // Remount: checkpoint load + roll-forward recovery.
     const auto [lo, hi] = CrashExplorer::versionRange(cap, spec);
@@ -400,9 +404,8 @@ ExploreReport
 CrashExplorer::explore(const Capture &cap, const ExploreOptions &opt)
 {
     ExploreReport report;
-    const auto &entries = cap.log.entries();
     const auto &barriers = cap.log.barriers();
-    const std::size_t n = entries.size();
+    const std::size_t n = cap.log.numBlocks();
 
     auto run = [&](const TrialSpec &spec,
                    const std::vector<std::uint8_t> &base,
@@ -477,12 +480,14 @@ CrashExplorer::explore(const Capture &cap, const ExploreOptions &opt)
             }
         }
 
-        for (std::size_t i = start; i < end; ++i) {
-            const auto &e = entries[i];
-            std::copy(e.data.begin(), e.data.end(),
-                      base.begin() +
-                          std::size_t(e.bno) * cap.cfg.blockSize);
-        }
+        cap.log.forEachBlockIn(
+            start, end,
+            [&](std::size_t, std::uint64_t bno,
+                std::span<const std::uint8_t> data) {
+                std::copy(data.begin(), data.end(),
+                          base.begin() +
+                              std::size_t(bno) * cap.cfg.blockSize);
+            });
     }
 
     return report;
@@ -492,7 +497,6 @@ std::size_t
 CrashExplorer::ackedSummaryWriteBefore(const Capture &cap,
                                        std::size_t barrier)
 {
-    const auto &entries = cap.log.entries();
     const auto &barriers = cap.log.barriers();
     if (barrier >= barriers.size())
         return npos;
@@ -505,15 +509,19 @@ CrashExplorer::ackedSummaryWriteBefore(const Capture &cap,
     const std::size_t end = barriers[barrier].at;
     const std::size_t start =
         barrier > 0 ? barriers[barrier - 1].at : 0;
-    for (std::size_t i = end; i-- > start;) {
-        const std::uint64_t bno = entries[i].bno;
-        if (bno >= sb.firstSegBlock &&
-            bno < sb.firstSegBlock + sb.numSegments * sb.segBlocks &&
-            (bno - sb.firstSegBlock) % sb.segBlocks == 0) {
-            return i;
-        }
-    }
-    return npos;
+    std::size_t found = npos;
+    cap.log.forEachBlockIn(
+        start, end,
+        [&](std::size_t i, std::uint64_t bno,
+            std::span<const std::uint8_t>) {
+            if (bno >= sb.firstSegBlock &&
+                bno < sb.firstSegBlock +
+                          sb.numSegments * sb.segBlocks &&
+                (bno - sb.firstSegBlock) % sb.segBlocks == 0) {
+                found = i; // last match in the window wins
+            }
+        });
+    return found;
 }
 
 } // namespace raid2::check

@@ -406,6 +406,10 @@ FaultController::registerStats(sim::StatsRegistry &reg,
     reg.addGauge(prefix + ".repaired_bytes", [this] {
         return static_cast<double>(_repairedBytes);
     });
+    // Parity-work counters of the functional array this controller
+    // fronts (full-stripe vs read-modify-write split).
+    if (hooks.functional)
+        hooks.functional->registerStats(reg, prefix + ".array");
 }
 
 } // namespace raid2::fault

@@ -30,4 +30,30 @@ ArrayBlockDevice::writeBlock(std::uint64_t bno,
         ioHook(bno * bs, bs, true);
 }
 
+void
+ArrayBlockDevice::readRange(std::uint64_t bno, std::uint64_t count,
+                            std::span<std::uint8_t> out)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, out.size());
+    noteRead(count);
+    _array.read(bno * bs, out);
+    if (ioHook)
+        ioHook(bno * bs, count * std::uint64_t(bs), false);
+}
+
+void
+ArrayBlockDevice::writeRange(std::uint64_t bno, std::uint64_t count,
+                             std::span<const std::uint8_t> data)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, data.size());
+    noteWrite(count);
+    _array.write(bno * bs, data);
+    if (ioHook)
+        ioHook(bno * bs, count * std::uint64_t(bs), true);
+}
+
 } // namespace raid2::fs

@@ -37,6 +37,11 @@ class ArrayBlockDevice : public BlockDevice
     void writeBlock(std::uint64_t bno,
                     std::span<const std::uint8_t> data) override;
 
+    void readRange(std::uint64_t bno, std::uint64_t count,
+                   std::span<std::uint8_t> out) override;
+    void writeRange(std::uint64_t bno, std::uint64_t count,
+                    std::span<const std::uint8_t> data) override;
+
     void setIoHook(IoHook hook) { ioHook = std::move(hook); }
 
     raid::RaidArray &array() { return _array; }

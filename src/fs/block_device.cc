@@ -14,30 +14,40 @@ BlockDevice::registerStats(sim::StatsRegistry &reg,
 }
 
 void
-BlockDevice::checkAccess(std::uint64_t bno, std::size_t len) const
+BlockDevice::checkExtent(std::uint64_t bno, std::uint64_t count,
+                         std::size_t len) const
 {
-    if (bno >= numBlocks())
-        sim::panic("BlockDevice: block %llu beyond device size %llu",
-                   (unsigned long long)bno,
-                   (unsigned long long)numBlocks());
-    if (len != blockSize())
-        sim::panic("BlockDevice: buffer size %zu != block size %u", len,
-                   blockSize());
+    // Bounds first, phrased so bno + count cannot wrap.
+    const std::uint64_t nb = numBlocks();
+    if (bno >= nb || count > nb - bno)
+        sim::panic("BlockDevice: extent [%llu, +%llu) beyond device "
+                   "size %llu",
+                   (unsigned long long)bno, (unsigned long long)count,
+                   (unsigned long long)nb);
+    if (std::uint64_t(len) != count * std::uint64_t(blockSize()))
+        sim::panic("BlockDevice: buffer size %zu != %llu blocks of %u",
+                   len, (unsigned long long)count, blockSize());
 }
 
 void
-BlockDevice::readBlocks(std::uint64_t bno, std::uint64_t count,
-                        std::span<std::uint8_t> out)
+BlockDevice::readRange(std::uint64_t bno, std::uint64_t count,
+                       std::span<std::uint8_t> out)
 {
+    if (count == 0)
+        return;
+    checkExtent(bno, count, out.size());
     const std::uint32_t bs = blockSize();
     for (std::uint64_t i = 0; i < count; ++i)
         readBlock(bno + i, out.subspan(i * bs, bs));
 }
 
 void
-BlockDevice::writeBlocks(std::uint64_t bno, std::uint64_t count,
-                         std::span<const std::uint8_t> data)
+BlockDevice::writeRange(std::uint64_t bno, std::uint64_t count,
+                        std::span<const std::uint8_t> data)
 {
+    if (count == 0)
+        return;
+    checkExtent(bno, count, data.size());
     const std::uint32_t bs = blockSize();
     for (std::uint64_t i = 0; i < count; ++i)
         writeBlock(bno + i, data.subspan(i * bs, bs));

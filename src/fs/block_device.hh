@@ -43,16 +43,36 @@ class BlockDevice
     /** Barrier: all previous writes are durable afterwards. */
     virtual void flush() {}
 
+    /** @{ Extent (vectored) I/O: @p count consecutive blocks starting
+     *  at @p bno, in one call.  The base implementation loops over
+     *  readBlock/writeBlock; devices override with a native
+     *  single-pass path (MemBlockDevice: one memcpy, ArrayBlockDevice:
+     *  one RaidArray call with stripe-aware parity).  Zero-length
+     *  extents return immediately. */
+    virtual void readRange(std::uint64_t bno, std::uint64_t count,
+                           std::span<std::uint8_t> out);
+    virtual void writeRange(std::uint64_t bno, std::uint64_t count,
+                            std::span<const std::uint8_t> data);
+    /** @} */
+
     std::uint64_t capacityBytes() const
     {
         return std::uint64_t(blockSize()) * numBlocks();
     }
 
-    /** @{ Multi-block helpers (sequential loops over the virtuals). */
-    void readBlocks(std::uint64_t bno, std::uint64_t count,
-                    std::span<std::uint8_t> out);
-    void writeBlocks(std::uint64_t bno, std::uint64_t count,
-                     std::span<const std::uint8_t> data);
+    /** @{ Multi-block helpers (delegate to readRange/writeRange). */
+    void
+    readBlocks(std::uint64_t bno, std::uint64_t count,
+               std::span<std::uint8_t> out)
+    {
+        readRange(bno, count, out);
+    }
+    void
+    writeBlocks(std::uint64_t bno, std::uint64_t count,
+                std::span<const std::uint8_t> data)
+    {
+        writeRange(bno, count, data);
+    }
     /** @} */
 
     /** @{ Statistics (maintained by implementations via note*()). */
@@ -71,9 +91,16 @@ class BlockDevice
     /** @} */
 
   protected:
-    void checkAccess(std::uint64_t bno, std::size_t len) const;
-    void noteRead() { _reads.inc(); }
-    void noteWrite() { _writes.inc(); }
+    void checkAccess(std::uint64_t bno, std::size_t len) const
+    {
+        checkExtent(bno, 1, len);
+    }
+    /** Validate an extent: in-bounds (overflow-safe) and the buffer
+     *  exactly count * blockSize() bytes. */
+    void checkExtent(std::uint64_t bno, std::uint64_t count,
+                     std::size_t len) const;
+    void noteRead(std::uint64_t n = 1) { _reads.inc(n); }
+    void noteWrite(std::uint64_t n = 1) { _writes.inc(n); }
 
   private:
     mutable sim::Scalar _reads;
@@ -121,6 +148,34 @@ class HookBlockDevice : public BlockDevice
             wlog->noteWrite(bno, data);
         if (hook)
             hook(bno * blockSize(), blockSize(), true);
+    }
+
+    void
+    readRange(std::uint64_t bno, std::uint64_t count,
+              std::span<std::uint8_t> out) override
+    {
+        if (count == 0)
+            return;
+        noteRead(count);
+        inner.readRange(bno, count, out);
+        if (hook)
+            hook(bno * blockSize(),
+                 count * std::uint64_t(blockSize()), false);
+    }
+
+    void
+    writeRange(std::uint64_t bno, std::uint64_t count,
+               std::span<const std::uint8_t> data) override
+    {
+        if (count == 0)
+            return;
+        noteWrite(count);
+        inner.writeRange(bno, count, data);
+        if (wlog)
+            wlog->noteWrite(bno, data, std::uint32_t(count));
+        if (hook)
+            hook(bno * blockSize(),
+                 count * std::uint64_t(blockSize()), true);
     }
 
     void

@@ -39,6 +39,54 @@ FaultDevice::writeBlock(std::uint64_t bno,
 }
 
 void
+FaultDevice::readRange(std::uint64_t bno, std::uint64_t count,
+                       std::span<std::uint8_t> out)
+{
+    if (count == 0)
+        return;
+    noteRead(count);
+    inner.readRange(bno, count, out);
+}
+
+void
+FaultDevice::writeRange(std::uint64_t bno, std::uint64_t count,
+                        std::span<const std::uint8_t> data)
+{
+    if (count == 0)
+        return;
+    noteWrite(count);
+    const std::uint32_t bs = blockSize();
+    if (limit >= count) {
+        limit -= count;
+        inner.writeRange(bno, count, data);
+        if (wlog)
+            wlog->noteWrite(bno, data, std::uint32_t(count));
+        return;
+    }
+    // Crash lands inside this extent: the first `landed` blocks reach
+    // the media, the rest drop (the first dropped one tears if armed).
+    const std::uint64_t landed = limit;
+    limit = 0;
+    if (landed > 0) {
+        inner.writeRange(bno, landed, data.subspan(0, landed * bs));
+        if (wlog)
+            wlog->noteWrite(bno, data.subspan(0, landed * bs),
+                            std::uint32_t(landed));
+    }
+    dropped += count - landed;
+    if (tearOnCrash && !tearDone) {
+        tearDone = true;
+        auto block = data.subspan(landed * bs, bs);
+        std::vector<std::uint8_t> torn(block.begin(), block.end());
+        for (std::size_t i = torn.size() / 2; i < torn.size(); ++i)
+            torn[i] = 0xbd;
+        inner.writeBlock(bno + landed, torn);
+        if (wlog)
+            wlog->noteWrite(bno + landed, {torn.data(), torn.size()});
+    }
+}
+
+void
 FaultDevice::flush()
 {
     if (limit > 0) {

@@ -40,6 +40,15 @@ class FaultDevice : public BlockDevice
                     std::span<const std::uint8_t> data) override;
     void flush() override;
 
+    void readRange(std::uint64_t bno, std::uint64_t count,
+                   std::span<std::uint8_t> out) override;
+    /** The write limit counts blocks, so a limit landing inside an
+     *  extent crashes mid-extent: the leading blocks land, the rest
+     *  drop (or the first dropped block tears).  Crash-point coverage
+     *  is therefore identical to the per-block path. */
+    void writeRange(std::uint64_t bno, std::uint64_t count,
+                    std::span<const std::uint8_t> data) override;
+
     /** Allow @p n more writes, then drop everything ("crash"). */
     void setWriteLimit(std::uint64_t n) { limit = n; }
 

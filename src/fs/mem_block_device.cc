@@ -28,6 +28,28 @@ MemBlockDevice::writeBlock(std::uint64_t bno,
     std::memcpy(data.data() + bno * bs, in.data(), bs);
 }
 
+void
+MemBlockDevice::readRange(std::uint64_t bno, std::uint64_t count,
+                          std::span<std::uint8_t> out)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, out.size());
+    noteRead(count);
+    std::memcpy(out.data(), data.data() + bno * bs, count * bs);
+}
+
+void
+MemBlockDevice::writeRange(std::uint64_t bno, std::uint64_t count,
+                           std::span<const std::uint8_t> in)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, in.size());
+    noteWrite(count);
+    std::memcpy(data.data() + bno * bs, in.data(), count * bs);
+}
+
 std::span<std::uint8_t>
 MemBlockDevice::raw(std::uint64_t bno)
 {

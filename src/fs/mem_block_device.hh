@@ -27,6 +27,11 @@ class MemBlockDevice : public BlockDevice
     void writeBlock(std::uint64_t bno,
                     std::span<const std::uint8_t> data) override;
 
+    void readRange(std::uint64_t bno, std::uint64_t count,
+                   std::span<std::uint8_t> out) override;
+    void writeRange(std::uint64_t bno, std::uint64_t count,
+                    std::span<const std::uint8_t> data) override;
+
     /** Direct access for tests (e.g. corrupting a block). */
     std::span<std::uint8_t> raw(std::uint64_t bno);
 

@@ -19,14 +19,14 @@ SimBlockDevice::SimBlockDevice(sim::EventQueue &eq_,
 }
 
 void
-SimBlockDevice::block(bool write, std::uint64_t bno)
+SimBlockDevice::block(bool write, std::uint64_t off, std::uint64_t len)
 {
     bool done = false;
     const sim::Tick t0 = eq.now();
     if (write)
-        timed.write(bno * bs, bs, [&done] { done = true; });
+        timed.write(off, len, [&done] { done = true; });
     else
-        timed.read(bno * bs, bs, [&done] { done = true; });
+        timed.read(off, len, [&done] { done = true; });
     if (!eq.runUntilDone([&done] { return done; }))
         sim::panic("SimBlockDevice: timed op never completed");
     spent += eq.now() - t0;
@@ -38,7 +38,7 @@ SimBlockDevice::readBlock(std::uint64_t bno, std::span<std::uint8_t> out)
     checkAccess(bno, out.size());
     noteRead();
     functional.read(bno * bs, out);
-    block(false, bno);
+    block(false, bno * bs, bs);
 }
 
 void
@@ -48,7 +48,31 @@ SimBlockDevice::writeBlock(std::uint64_t bno,
     checkAccess(bno, data.size());
     noteWrite();
     functional.write(bno * bs, data);
-    block(true, bno);
+    block(true, bno * bs, bs);
+}
+
+void
+SimBlockDevice::readRange(std::uint64_t bno, std::uint64_t count,
+                          std::span<std::uint8_t> out)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, out.size());
+    noteRead(count);
+    functional.read(bno * bs, out);
+    block(false, bno * bs, count * std::uint64_t(bs));
+}
+
+void
+SimBlockDevice::writeRange(std::uint64_t bno, std::uint64_t count,
+                           std::span<const std::uint8_t> data)
+{
+    if (count == 0)
+        return;
+    checkExtent(bno, count, data.size());
+    noteWrite(count);
+    functional.write(bno * bs, data);
+    block(true, bno * bs, count * std::uint64_t(bs));
 }
 
 } // namespace raid2::fs

@@ -42,12 +42,17 @@ class SimBlockDevice : public BlockDevice
     void writeBlock(std::uint64_t bno,
                     std::span<const std::uint8_t> data) override;
 
+    void readRange(std::uint64_t bno, std::uint64_t count,
+                   std::span<std::uint8_t> out) override;
+    void writeRange(std::uint64_t bno, std::uint64_t count,
+                    std::span<const std::uint8_t> data) override;
+
     /** Simulated time consumed by this device's operations so far. */
     sim::Tick ticksSpent() const { return spent; }
 
   private:
     /** Run the queue until the timed op finishes; tally the time. */
-    void block(bool write, std::uint64_t bno);
+    void block(bool write, std::uint64_t off, std::uint64_t len);
 
     sim::EventQueue &eq;
     raid::RaidArray &functional;

@@ -2,23 +2,32 @@
  * @file
  * Block-level write-log capture for crash-consistency testing.
  *
- * A WriteLog records every block write that reaches the media, in
- * order, together with a caller-supplied tag (the model checker tags
- * each write with the index of the file-system operation that issued
- * it) and the position of every barrier (flush).  The crash-point
- * explorer replays prefixes of this log — optionally with one write
- * torn, dropped or corrupted — to enumerate every state a real device
- * could be left in by a crash.
+ * A WriteLog records every write that reaches the media, in order,
+ * together with a caller-supplied tag (the model checker tags each
+ * write with the index of the file-system operation that issued it)
+ * and the position of every barrier (flush).  The crash-point explorer
+ * replays prefixes of this log — optionally with one write torn,
+ * dropped or corrupted — to enumerate every state a real device could
+ * be left in by a crash.
+ *
+ * Writes are stored as *extents*: adjacent same-tag writes coalesce
+ * into one record (a full-segment flush is one entry, not one per
+ * block), which cuts the explorer's memory and bookkeeping.  Crash
+ * points remain block-granular: barriers and the flat indexing exposed
+ * by numBlocks()/blockAt()/forEachBlockIn() address individual blocks
+ * inside the extents, so extent-sized device writes do not coarsen the
+ * enumerated crash states.
  *
  * Capture attaches to the pass-through device wrappers
  * (HookBlockDevice, FaultDevice) via attachWriteLog(); detaching is
- * attaching nullptr.  The log stores full block payloads, so a
- * recorded run is replayable without the writer.
+ * attaching nullptr.  The log stores full payloads, so a recorded run
+ * is replayable without the writer.
  */
 
 #ifndef RAID2_FS_WRITE_LOG_HH
 #define RAID2_FS_WRITE_LOG_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -29,39 +38,116 @@ namespace raid2::fs {
 class WriteLog
 {
   public:
-    /** One block write that reached the media. */
+    /** One extent of @c count consecutive blocks that reached the
+     *  media in a single ordered burst. */
     struct Entry
     {
-        std::uint64_t bno;
-        std::vector<std::uint8_t> data;
-        std::uint32_t tag; // caller-defined (op index)
+        std::uint64_t bno;              // first block of the extent
+        std::uint32_t count;            // blocks in the extent
+        std::vector<std::uint8_t> data; // count * blockSize bytes
+        std::uint32_t tag;              // caller-defined (op index)
+        std::size_t firstBlock;         // flat block index of block 0
     };
 
-    /** A completed flush(): entries [0, at) are durable. */
+    /** A completed flush(): blocks [0, at) are durable.  @c at counts
+     *  flat blocks, not entries, so coalescing never moves it. */
     struct Barrier
     {
-        std::size_t at;    // index into entries()
+        std::size_t at;    // flat block index (see numBlocks())
         std::uint32_t tag; // tag current when the flush completed
+    };
+
+    /** Flat view of one block inside an extent entry. */
+    struct BlockRef
+    {
+        std::uint64_t bno;
+        std::span<const std::uint8_t> data;
+        std::uint32_t tag;
     };
 
     /** Tag applied to subsequently recorded writes/barriers. */
     void setTag(std::uint32_t t) { _tag = t; }
     std::uint32_t tag() const { return _tag; }
 
+    /** Record @p count blocks starting at @p bno (data holds all of
+     *  them, concatenated).  Adjacent same-tag extents coalesce. */
     void
-    noteWrite(std::uint64_t bno, std::span<const std::uint8_t> data)
+    noteWrite(std::uint64_t bno, std::span<const std::uint8_t> data,
+              std::uint32_t count = 1)
     {
-        _entries.push_back(
-            Entry{bno, {data.begin(), data.end()}, _tag});
+        if (count == 0)
+            return;
+        if (!_entries.empty()) {
+            Entry &last = _entries.back();
+            if (last.tag == _tag && last.bno + last.count == bno) {
+                last.data.insert(last.data.end(), data.begin(),
+                                 data.end());
+                last.count += count;
+                _blocks += count;
+                return;
+            }
+        }
+        _entries.push_back(Entry{
+            bno, count, {data.begin(), data.end()}, _tag, _blocks});
+        _blocks += count;
     }
 
     void
     noteBarrier()
     {
         // Coalesce back-to-back flushes with no interleaved writes.
-        if (!_barriers.empty() && _barriers.back().at == _entries.size())
+        if (!_barriers.empty() && _barriers.back().at == _blocks)
             return;
-        _barriers.push_back(Barrier{_entries.size(), _tag});
+        _barriers.push_back(Barrier{_blocks, _tag});
+    }
+
+    /** Total blocks recorded (the flat crash-point index space). */
+    std::size_t numBlocks() const { return _blocks; }
+
+    /** The @p i-th recorded block (flat index; O(log entries)). */
+    BlockRef
+    blockAt(std::size_t i) const
+    {
+        auto it = std::upper_bound(
+            _entries.begin(), _entries.end(), i,
+            [](std::size_t v, const Entry &e) {
+                return v < e.firstBlock;
+            });
+        --it;
+        const std::size_t k = i - it->firstBlock;
+        const std::size_t bs = it->data.size() / it->count;
+        return BlockRef{it->bno + k,
+                        {it->data.data() + k * bs, bs},
+                        it->tag};
+    }
+
+    /** Call fn(flat_index, bno, data) for every block in
+     *  [@p first, @p last); one entry walk, no per-block search. */
+    template <typename Fn>
+    void
+    forEachBlockIn(std::size_t first, std::size_t last, Fn &&fn) const
+    {
+        if (first >= last)
+            return;
+        auto it = std::upper_bound(
+            _entries.begin(), _entries.end(), first,
+            [](std::size_t v, const Entry &e) {
+                return v < e.firstBlock;
+            });
+        --it;
+        for (; it != _entries.end() && it->firstBlock < last; ++it) {
+            const std::size_t bs = it->data.size() / it->count;
+            const std::size_t lo =
+                std::max(first, it->firstBlock) - it->firstBlock;
+            const std::size_t hi =
+                std::min<std::size_t>(last - it->firstBlock,
+                                      it->count);
+            for (std::size_t k = lo; k < hi; ++k) {
+                fn(it->firstBlock + k, it->bno + k,
+                   std::span<const std::uint8_t>{
+                       it->data.data() + k * bs, bs});
+            }
+        }
     }
 
     const std::vector<Entry> &entries() const { return _entries; }
@@ -72,12 +158,14 @@ class WriteLog
     {
         _entries.clear();
         _barriers.clear();
+        _blocks = 0;
         _tag = 0;
     }
 
   private:
     std::vector<Entry> _entries;
     std::vector<Barrier> _barriers;
+    std::size_t _blocks = 0;
     std::uint32_t _tag = 0;
 };
 

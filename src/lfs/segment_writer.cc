@@ -114,25 +114,20 @@ SegmentWriter::writeOut(std::uint64_t next_segment)
     std::memcpy(summary.data() + offsetof(SummaryHeader, checksum), &csum,
                 sizeof(csum));
 
-    // Summary first, then the payload blocks, sequentially.  Pad the
-    // write out to the full segment extent: a segment usually closes a
-    // few slots short (pointer-block reservation), and padding keeps
-    // the device write exactly one full stripe — the efficient RAID-5
-    // case (§3.1).  The summary's count ignores the padding.
-    dev.writeBlocks(sb.segmentStartBlock(segIdx), summary_blocks,
-                    {summary.data(), summary.size()});
-    dev.writeBlocks(payloadBase(), entries.size(),
-                    {payload.data(), payload.size()});
-    const std::uint32_t pad_blocks =
-        sb.payloadBlocksPerSegment() -
-        static_cast<std::uint32_t>(entries.size());
-    if (pad_blocks > 0) {
-        std::vector<std::uint8_t> zero(sb.blockSize, 0);
-        for (std::uint32_t i = 0; i < pad_blocks; ++i) {
-            dev.writeBlock(payloadBase() + entries.size() + i,
-                           {zero.data(), zero.size()});
-        }
-    }
+    // Assemble summary + payload + zero padding into one image and
+    // issue it as a single extent write covering the whole segment: a
+    // segment usually closes a few slots short (pointer-block
+    // reservation), and padding keeps the device write exactly one
+    // full stripe — the efficient RAID-5 case (§3.1).  One extent
+    // (instead of summary/payload/pad pieces) also means the array
+    // computes each stripe's parity exactly once, single-pass.  The
+    // summary's count ignores the padding.
+    segImage.assign(std::size_t(sb.segBlocks) * sb.blockSize, 0);
+    std::memcpy(segImage.data(), summary.data(), summary.size());
+    std::memcpy(segImage.data() + summary.size(), payload.data(),
+                payload.size());
+    dev.writeRange(sb.segmentStartBlock(segIdx), sb.segBlocks,
+                   {segImage.data(), segImage.size()});
 
     ++written;
     payloadBytes += payload.size();

@@ -86,6 +86,7 @@ class SegmentWriter
     std::uint64_t seq = 0;
     std::vector<SummaryEntry> entries;
     std::vector<std::uint8_t> payload; // entries.size() * blockSize
+    std::vector<std::uint8_t> segImage; // writeOut scratch, reused
     std::uint64_t written = 0;
     std::uint64_t payloadBytes = 0;
 };

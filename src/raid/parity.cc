@@ -32,6 +32,33 @@ xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src)
     xorInto(dst.data(), src.data(), dst.size());
 }
 
+void
+xorFold(std::uint8_t *dst, const std::uint8_t *const *srcs,
+        std::size_t k, std::size_t n)
+{
+    if (k == 0) {
+        std::memset(dst, 0, n);
+        return;
+    }
+    std::size_t i = 0;
+    for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+        std::uint64_t acc;
+        std::memcpy(&acc, srcs[0] + i, sizeof(acc));
+        for (std::size_t s = 1; s < k; ++s) {
+            std::uint64_t w;
+            std::memcpy(&w, srcs[s] + i, sizeof(w));
+            acc ^= w;
+        }
+        std::memcpy(dst + i, &acc, sizeof(acc));
+    }
+    for (; i < n; ++i) {
+        std::uint8_t b = srcs[0][i];
+        for (std::size_t s = 1; s < k; ++s)
+            b ^= srcs[s][i];
+        dst[i] = b;
+    }
+}
+
 bool
 allZero(std::span<const std::uint8_t> buf)
 {

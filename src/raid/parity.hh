@@ -17,11 +17,28 @@
 
 namespace raid2::raid {
 
+/** Upper bound on xorFold source counts callers may assume when
+ *  using a stack array of source pointers (≥ any supported array
+ *  width; RaidArray enforces it at construction). */
+inline constexpr std::size_t kMaxFoldSources = 64;
+
 /** dst[i] ^= src[i] for i in [0, n). */
 void xorInto(std::uint8_t *dst, const std::uint8_t *src, std::size_t n);
 
 /** dst ^= src (sizes must match). */
 void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+
+/**
+ * Multi-source XOR fold: dst[i] = srcs[0][i] ^ ... ^ srcs[k-1][i] for
+ * i in [0, n), in a single word-at-a-time pass (each word of dst is
+ * written once, after all k sources are folded into a register).
+ * This is the single-pass parity kernel for full-stripe writes and
+ * reconstruction; k passes of xorInto would stream dst through the
+ * cache k times.  @p dst may alias one of the sources.  k == 0 zeroes
+ * dst.
+ */
+void xorFold(std::uint8_t *dst, const std::uint8_t *const *srcs,
+             std::size_t k, std::size_t n);
 
 /** True if every byte of @p buf is zero (parity-check helper). */
 bool allZero(std::span<const std::uint8_t> buf);

@@ -5,6 +5,7 @@
 
 #include "raid/parity.hh"
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::raid {
 
@@ -13,6 +14,10 @@ RaidArray::RaidArray(const LayoutConfig &cfg, std::uint64_t disk_bytes)
       disks(cfg.numDisks, std::vector<std::uint8_t>(disk_bytes, 0)),
       failed(cfg.numDisks, false), latents(cfg.numDisks)
 {
+    if (cfg.numDisks > kMaxFoldSources)
+        sim::fatal("RaidArray: %u disks exceeds the %zu-way parity "
+                   "fold limit",
+                   cfg.numDisks, kMaxFoldSources);
 }
 
 /** Mirror partner of @p d, valid for either half of the array. */
@@ -50,14 +55,40 @@ RaidArray::recomputeParity(std::uint64_t stripe)
     const std::uint64_t unit = _layout.unitBytes();
     const std::uint64_t base = stripe * unit;
     const unsigned pd = _layout.parityDisk(stripe);
-    std::vector<std::uint8_t> parity(unit, 0);
-    for (unsigned k = 0; k < _layout.dataUnitsPerStripe(); ++k) {
-        const unsigned d = _layout.dataDisk(stripe, k);
-        xorInto(parity.data(), disks[d].data() + base,
-                static_cast<std::size_t>(unit));
+    const unsigned K = _layout.dataUnitsPerStripe();
+    const std::uint8_t *srcs[kMaxFoldSources];
+    for (unsigned k = 0; k < K; ++k)
+        srcs[k] = disks[_layout.dataDisk(stripe, k)].data() + base;
+    xorFold(disks[pd].data() + base, srcs, K,
+            static_cast<std::size_t>(unit));
+    _parityRecomputes.inc();
+}
+
+/**
+ * Walk the data units a logical range touches, in logical order:
+ * fn(stripe, disk, disk_offset, logical_offset, bytes) per piece.
+ * Valid for levels 3 and 5 — Level 3's constructor pins the unit to
+ * the sector and its rows are logically contiguous, so the same
+ * stripe arithmetic covers both.
+ */
+template <typename Fn>
+static void
+forEachDataUnit(const RaidLayout &layout, std::uint64_t off,
+                std::uint64_t len, Fn &&fn)
+{
+    const std::uint64_t unit = layout.unitBytes();
+    const std::uint64_t sdb = layout.stripeDataBytes();
+    std::uint64_t pos = off;
+    const std::uint64_t end = off + len;
+    while (pos < end) {
+        const std::uint64_t s = pos / sdb;
+        const std::uint64_t in_stripe = pos % sdb;
+        const unsigned k = static_cast<unsigned>(in_stripe / unit);
+        const std::uint64_t in_unit = in_stripe % unit;
+        const std::uint64_t n = std::min(end - pos, unit - in_unit);
+        fn(s, layout.dataDisk(s, k), s * unit + in_unit, pos, n);
+        pos += n;
     }
-    std::memcpy(disks[pd].data() + base, parity.data(),
-                static_cast<std::size_t>(unit));
 }
 
 void
@@ -67,52 +98,75 @@ RaidArray::write(std::uint64_t off, std::span<const std::uint8_t> data)
         return;
     const RaidLevel level = _layout.level();
 
-    if (level == RaidLevel::Raid3) {
-        const std::uint64_t row_bytes = _layout.stripeDataBytes();
-        const std::uint64_t r0 = off / row_bytes;
-        const std::uint64_t r1 = (off + data.size() - 1) / row_bytes;
-        for (std::uint64_t r = r0; r <= r1; ++r)
-            prepareStripeForUpdate(r);
-        for (std::uint64_t i = 0; i < data.size(); ++i) {
-            unsigned d;
-            std::uint64_t db;
-            _layout.mapByte(off + i, d, db);
-            disks[d][db] = data[i];
-        }
-        for (std::uint64_t r = r0; r <= r1; ++r)
-            recomputeParity(r);
-        return;
-    }
-
-    if (level == RaidLevel::Raid5) {
-        const std::uint64_t s0 = _layout.stripeOf(off);
-        const std::uint64_t s1 = _layout.stripeOf(off + data.size() - 1);
-        for (std::uint64_t s = s0; s <= s1; ++s)
-            prepareStripeForUpdate(s);
-    }
-
-    for (const DiskExtent &e :
-         _layout.mapRange(off, data.size(), false)) {
-        const std::uint8_t *src = data.data() + (e.logicalOffset - off);
-        std::memcpy(disks[e.disk].data() + e.diskOffset, src,
-                    static_cast<std::size_t>(e.bytes));
-        if (level == RaidLevel::Raid1) {
-            const unsigned m = _layout.mirrorDisk(e.disk);
-            std::memcpy(disks[m].data() + e.diskOffset, src,
+    if (level == RaidLevel::Raid0 || level == RaidLevel::Raid1) {
+        for (const DiskExtent &e :
+             _layout.mapRange(off, data.size(), false)) {
+            const std::uint8_t *src =
+                data.data() + (e.logicalOffset - off);
+            std::memcpy(disks[e.disk].data() + e.diskOffset, src,
                         static_cast<std::size_t>(e.bytes));
             // Overwriting a latent sector rewrites (remaps) it.
             eraseLatentRange(e.disk, e.diskOffset, e.bytes);
-            eraseLatentRange(m, e.diskOffset, e.bytes);
-        } else if (level == RaidLevel::Raid0) {
-            eraseLatentRange(e.disk, e.diskOffset, e.bytes);
+            if (level == RaidLevel::Raid1) {
+                const unsigned m = _layout.mirrorDisk(e.disk);
+                std::memcpy(disks[m].data() + e.diskOffset, src,
+                            static_cast<std::size_t>(e.bytes));
+                eraseLatentRange(m, e.diskOffset, e.bytes);
+            }
         }
+        return;
     }
 
-    if (level == RaidLevel::Raid5) {
-        const std::uint64_t s0 = _layout.stripeOf(off);
-        const std::uint64_t s1 = _layout.stripeOf(off + data.size() - 1);
-        for (std::uint64_t s = s0; s <= s1; ++s)
+    // Levels 3/5: stripe-aware.  Whole stripes take the single-pass
+    // path — every data unit comes from the caller's buffer, so parity
+    // is one k-way XOR fold straight from the source, with no pre-read
+    // of the old contents.  Only the ragged edges (first/last partial
+    // stripe) pay the read-modify-write.
+    const std::uint64_t unit = _layout.unitBytes();
+    const std::uint64_t sdb = _layout.stripeDataBytes();
+    const unsigned K = _layout.dataUnitsPerStripe();
+    std::uint64_t pos = off;
+    const std::uint64_t end = off + data.size();
+    const std::uint8_t *srcs[kMaxFoldSources];
+    while (pos < end) {
+        const std::uint64_t s = pos / sdb;
+        const std::uint64_t in_stripe = pos % sdb;
+        const std::uint64_t take = std::min(end - pos, sdb - in_stripe);
+        const std::uint64_t base = s * unit;
+        const std::uint8_t *src = data.data() + (pos - off);
+
+        if (take == sdb) {
+            // Full stripe.  New data lands in every buffer (including
+            // a failed disk's — kept logically true by convention) and
+            // fully overwrites any latent defect.
+            for (unsigned k = 0; k < K; ++k) {
+                const unsigned d = _layout.dataDisk(s, k);
+                srcs[k] = src + k * unit;
+                std::memcpy(disks[d].data() + base, srcs[k],
+                            static_cast<std::size_t>(unit));
+                eraseLatentRange(d, base, unit);
+            }
+            const unsigned pd = _layout.parityDisk(s);
+            xorFold(disks[pd].data() + base, srcs, K,
+                    static_cast<std::size_t>(unit));
+            eraseLatentRange(pd, base, unit);
+            _parityRecomputes.inc();
+            _parityFullStripes.inc();
+        } else {
+            // Ragged edge: bring the stripe to a known-good state,
+            // overlay the new bytes, recompute parity once.
+            prepareStripeForUpdate(s);
+            forEachDataUnit(
+                _layout, pos, take,
+                [&](std::uint64_t, unsigned d, std::uint64_t doff,
+                    std::uint64_t lpos, std::uint64_t n) {
+                    std::memcpy(disks[d].data() + doff,
+                                data.data() + (lpos - off),
+                                static_cast<std::size_t>(n));
+                });
             recomputeParity(s);
+        }
+        pos += take;
     }
 }
 
@@ -146,8 +200,10 @@ RaidArray::reconstructRange(unsigned dead, std::uint64_t disk_off,
                             std::span<std::uint8_t> out) const
 {
     // Every aligned byte position forms a parity group across all
-    // disks, so the missing disk's bytes are the XOR of the others.
-    std::fill(out.begin(), out.end(), 0);
+    // disks, so the missing disk's bytes are the XOR fold of the
+    // others (one pass over out instead of numDisks-1).
+    const std::uint8_t *srcs[kMaxFoldSources];
+    std::size_t k = 0;
     for (unsigned d = 0; d < disks.size(); ++d) {
         if (d == dead)
             continue;
@@ -158,8 +214,9 @@ RaidArray::reconstructRange(unsigned dead, std::uint64_t disk_off,
             sim::fatal("RaidArray: range [%llu, +%zu) of disk %u is "
                        "unrecoverable: survivor %u has a latent error there",
                        (unsigned long long)disk_off, out.size(), dead, d);
-        xorInto(out.data(), disks[d].data() + disk_off, out.size());
+        srcs[k++] = disks[d].data() + disk_off;
     }
+    xorFold(out.data(), srcs, k, out.size());
 }
 
 void
@@ -217,20 +274,21 @@ RaidArray::read(std::uint64_t off, std::span<std::uint8_t> out) const
     const RaidLevel level = _layout.level();
 
     if (level == RaidLevel::Raid3) {
-        for (std::uint64_t i = 0; i < out.size(); ++i) {
-            unsigned d;
-            std::uint64_t db;
-            _layout.mapByte(off + i, d, db);
-            if (!failed[d] && !latentOverlaps(d, db, 1)) {
-                out[i] = disks[d][db];
-            } else {
-                std::uint8_t byte = 0;
-                reconstructRange(d, db, {&byte, 1});
-                out[i] = byte;
-                if (!failed[d])
-                    ++_latentReconstructedBytes;
-            }
-        }
+        // Unit-at-a-time (unit == sector): each row's data is
+        // logically contiguous, so this is straight memcpy except
+        // where a failed disk or latent range forces reconstruction.
+        forEachDataUnit(
+            _layout, off, out.size(),
+            [&](std::uint64_t, unsigned d, std::uint64_t doff,
+                std::uint64_t lpos, std::uint64_t n) {
+                std::span<std::uint8_t> dst{
+                    out.data() + (lpos - off),
+                    static_cast<std::size_t>(n)};
+                if (failed[d])
+                    reconstructRange(d, doff, dst);
+                else
+                    readDiskRange(d, doff, dst);
+            });
         return;
     }
 
@@ -496,16 +554,25 @@ RaidArray::redundancyConsistent() const
         static_cast<std::size_t>(std::min<std::uint64_t>(covered,
                                                          1u << 20)));
     // Check in chunks to bound memory.
+    const std::uint8_t *srcs[kMaxFoldSources];
     for (std::uint64_t base = 0; base < covered; base += acc.size()) {
         const std::size_t n = static_cast<std::size_t>(
             std::min<std::uint64_t>(acc.size(), covered - base));
-        std::fill(acc.begin(), acc.begin() + n, 0);
-        for (const auto &disk : disks)
-            xorInto(acc.data(), disk.data() + base, n);
+        for (unsigned d = 0; d < disks.size(); ++d)
+            srcs[d] = disks[d].data() + base;
+        xorFold(acc.data(), srcs, disks.size(), n);
         if (!allZero({acc.data(), n}))
             return false;
     }
     return true;
+}
+
+void
+RaidArray::registerStats(sim::StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.add(prefix + ".parity.recomputes", _parityRecomputes);
+    reg.add(prefix + ".parity.fullStripeWrites", _parityFullStripes);
 }
 
 } // namespace raid2::raid

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "raid/raid_layout.hh"
+#include "sim/stats.hh"
 
 namespace raid2::raid {
 
@@ -95,6 +97,29 @@ class RaidArray
     /** @} */
     /** @} */
 
+    /** @{ Parity-work counters (levels 3/5).
+     *
+     * parity.recomputes counts every parity computation the array
+     * performs — one per stripe whose parity is (re)generated, by
+     * either path.  parity.fullStripeWrites is the subset served by
+     * the single-pass full-stripe path (parity folded straight from
+     * the caller's buffer, no pre-read).  A full-segment LFS write
+     * should show recomputes == stripes touched — anything higher is
+     * redundant parity work. */
+    const sim::Scalar &parityRecomputes() const
+    {
+        return _parityRecomputes;
+    }
+    const sim::Scalar &parityFullStripeWrites() const
+    {
+        return _parityFullStripes;
+    }
+    /** Register "<prefix>.parity.recomputes" /
+     *  "<prefix>.parity.fullStripeWrites". */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix) const;
+    /** @} */
+
     /** True if every stripe's parity equals the XOR of its data (and
      *  every mirror pair matches).  Levels 0 trivially true. */
     bool redundancyConsistent() const;
@@ -130,6 +155,8 @@ class RaidArray
     mutable std::uint64_t _latentReconstructedBytes = 0;
     std::uint64_t _latentRepairs = 0;
     std::uint64_t _latentsInjected = 0;
+    sim::Scalar _parityRecomputes;
+    sim::Scalar _parityFullStripes;
 };
 
 } // namespace raid2::raid

@@ -281,7 +281,7 @@ TEST_P(CrashSweep, FullEnumerationFindsNoViolations)
     const ExploreReport rep = CrashExplorer::explore(cap);
     // Every write boundary gets a Cut and a Torn trial, plus the
     // empty prefix.
-    EXPECT_EQ(rep.trials, 2 * cap.log.entries().size() + 1);
+    EXPECT_EQ(rep.trials, 2 * cap.log.numBlocks() + 1);
     EXPECT_TRUE(rep.failures.empty());
     for (const Failure &f : rep.failures) {
         ADD_FAILURE() << f.spec.str() << ": "
@@ -343,7 +343,7 @@ TEST(OracleSelfTest, FlagsCorruptedCheckpointedBlocks)
         op(Op::Kind::Checkpoint),
     };
     const Capture cap = CrashExplorer::capture(ops, CheckConfig{});
-    const std::size_t n = cap.log.entries().size();
+    const std::size_t n = cap.log.numBlocks();
     ASSERT_GT(n, 0u);
 
     std::size_t flagged = 0;

@@ -155,9 +155,11 @@ sweep(std::uint64_t seed, unsigned num_ops)
     const std::vector<Op> ops = generateWorkload(seed, gcfg);
     const CheckConfig cfg;
     const Capture cap = CrashExplorer::capture(ops, cfg);
-    std::printf("seed %llu: %zu ops, %zu writes, %zu barriers\n",
+    std::printf("seed %llu: %zu ops, %zu blocks written "
+                "(%zu extents), %zu barriers\n",
                 static_cast<unsigned long long>(seed), ops.size(),
-                cap.log.entries().size(), cap.log.barriers().size());
+                cap.log.numBlocks(), cap.log.entries().size(),
+                cap.log.barriers().size());
 
     const ExploreReport rep = CrashExplorer::explore(cap);
     std::printf("%zu trials, %zu violations\n", rep.trials,
