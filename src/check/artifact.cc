@@ -97,6 +97,12 @@ parseOp(const std::string &line)
     } else if (kind == "clean") {
         op.kind = Op::Kind::Clean;
         need(op.len);
+    } else if (kind == "snap_create") {
+        op.kind = Op::Kind::SnapCreate;
+        need(op.path);
+    } else if (kind == "snap_delete") {
+        op.kind = Op::Kind::SnapDelete;
+        need(op.path);
     } else {
         malformed("unknown op '" + kind + "'");
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <set>
 #include <unordered_map>
 
 #include "fs/fault_device.hh"
@@ -108,6 +110,12 @@ applyToLfs(lfs::Lfs &fs, const Op &op)
       case Op::Kind::Clean:
         fs.clean(static_cast<unsigned>(op.len));
         break;
+      case Op::Kind::SnapCreate:
+        fs.takeSnapshot(op.path);
+        break;
+      case Op::Kind::SnapDelete:
+        fs.deleteSnapshot(op.path);
+        break;
     }
 }
 
@@ -207,6 +215,71 @@ compareAgainstOracle(const Tree &recovered,
                             ": durable but missing after recovery "
                             "(present in all legal versions " +
                             range + ")");
+        }
+    }
+    return diffs;
+}
+
+/**
+ * The snapshot-table oracle: every recovered snapshot must be one the
+ * workload created, created snapshots must survive once durable, and
+ * deleted ones must stay gone — never a torn table.
+ *
+ * Durability is checkpoint-bound, not sync-bound: a snap op syncs
+ * (recording a barrier) *before* writing the checkpoint that carries
+ * the table, so at lo == createVersion the table write may still be
+ * in flight and the snapshot is optional.  The first later barrier
+ * (any tag > create's op) implies the checkpoint landed — writes are
+ * ordered — so with c/d the create/delete versions of a name:
+ * present required iff c < lo and d > hi; absent required iff c > hi
+ * or d < lo; optional in between.  (Names are never reused, which
+ * keeps the per-name rule unambiguous.)
+ */
+std::vector<std::string>
+compareSnapshotTable(const std::set<std::string> &recovered,
+                     const std::vector<Op> &ops, std::size_t lo,
+                     std::size_t hi)
+{
+    constexpr std::size_t never = static_cast<std::size_t>(-1);
+    struct Life
+    {
+        std::size_t create = never;
+        std::size_t destroy = never;
+        bool reused = false;
+    };
+    std::map<std::string, Life> names;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (ops[j].kind == Op::Kind::SnapCreate) {
+            Life &l = names[ops[j].path];
+            if (l.create != never)
+                l.reused = true; // ambiguous; skip its checks
+            l.create = j + 1;
+        } else if (ops[j].kind == Op::Kind::SnapDelete) {
+            names[ops[j].path].destroy = j + 1;
+        }
+    }
+
+    std::vector<std::string> diffs;
+    const std::string range =
+        "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+    for (const std::string &n : recovered) {
+        if (!names.count(n))
+            diffs.push_back("snapshot " + n +
+                            ": recovered but never created");
+    }
+    for (const auto &[n, l] : names) {
+        if (l.reused)
+            continue;
+        const std::size_t d = l.destroy;
+        const bool present = recovered.count(n) != 0;
+        if (l.create < lo && (d == never || d > hi) && !present) {
+            diffs.push_back("snapshot " + n +
+                            ": durable but missing after recovery " +
+                            range);
+        } else if ((l.create > hi || (d != never && d < lo)) &&
+                   present) {
+            diffs.push_back("snapshot " + n +
+                            ": recovered but not legal in " + range);
         }
     }
     return diffs;
@@ -378,6 +451,13 @@ runTrialFrom(const Capture &cap, const TrialSpec &spec,
             const Tree recovered = recoverTree(fs);
             result.diffs = compareAgainstOracle(recovered,
                                                 cap.versions, lo, hi);
+            std::set<std::string> rsnaps;
+            for (const auto &rec : fs.listSnapshots())
+                rsnaps.insert(rec.name);
+            const auto sdiffs =
+                compareSnapshotTable(rsnaps, cap.ops, lo, hi);
+            result.diffs.insert(result.diffs.end(), sdiffs.begin(),
+                                sdiffs.end());
         }
     } catch (const std::exception &e) {
         result.diffs.push_back(std::string("mount failed: ") +

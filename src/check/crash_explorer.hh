@@ -32,6 +32,7 @@
 #define RAID2_CHECK_CRASH_EXPLORER_HH
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 

@@ -38,6 +38,10 @@ Op::str() const
         return "checkpoint";
       case Kind::Clean:
         return "clean " + std::to_string(len);
+      case Kind::SnapCreate:
+        return "snap_create " + path;
+      case Kind::SnapDelete:
+        return "snap_delete " + path;
     }
     return "?";
 }
@@ -204,6 +208,15 @@ RefFs::valid(const Op &op) const
       case Op::Kind::Checkpoint:
       case Op::Kind::Clean:
         return true;
+      case Op::Kind::SnapCreate:
+        // Mirrors lfs::Lfs::takeSnapshot: sane name, unique, table
+        // not full (lfs::maxSnapshots == 8, name cap 64).
+        return !op.path.empty() && op.path.size() <= 64 &&
+               op.path.find('/') == std::string::npos &&
+               op.path.find(' ') == std::string::npos &&
+               !snaps.count(op.path) && snaps.size() < 8;
+      case Op::Kind::SnapDelete:
+        return snaps.count(op.path) != 0;
     }
     return false;
 }
@@ -318,6 +331,12 @@ RefFs::apply(const Op &op)
       case Op::Kind::Checkpoint:
       case Op::Kind::Clean:
         break; // no effect on the logical tree
+      case Op::Kind::SnapCreate:
+        snaps.insert(op.path);
+        break;
+      case Op::Kind::SnapDelete:
+        snaps.erase(op.path);
+        break;
     }
 }
 

@@ -41,6 +41,8 @@ struct Op
         Sync,
         Checkpoint,
         Clean,      // len = target free segments
+        SnapCreate, // path = snapshot name (no leading '/')
+        SnapDelete, // path = snapshot name
     };
 
     Kind kind;
@@ -104,6 +106,8 @@ class RefFs
     std::vector<std::string> allFiles() const;  // sorted paths
     std::vector<std::string> allDirs() const;   // sorted, incl. "/"
     std::uint64_t totalBytes() const;           // sum of file sizes
+    /** Live snapshot names (sorted; mirrors the lfs table). */
+    const std::set<std::string> &snapshots() const { return snaps; }
     /** @} */
 
   private:
@@ -124,6 +128,7 @@ class RefFs
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     std::vector<Node> nodes; // node 0 is the root
+    std::set<std::string> snaps; // live snapshot names
 };
 
 } // namespace raid2::check

@@ -23,6 +23,7 @@ generateWorkload(std::uint64_t seed, const GenConfig &cfg)
     RefFs model;
     std::vector<Op> ops;
     ops.reserve(cfg.numOps);
+    unsigned snapCounter = 0; // unique snapshot names s0, s1, ...
 
     auto name = [&](const char *stem, unsigned pool) {
         return std::string(stem) + std::to_string(rng.below(pool));
@@ -124,10 +125,25 @@ generateWorkload(std::uint64_t seed, const GenConfig &cfg)
             const auto dirs = model.allDirs();
             op.kind = Op::Kind::Rmdir;
             op.path = pick(rng, dirs);
-        } else if (roll < 87) {
+        } else if (roll < 85) {
             op.kind = Op::Kind::Sync;
-        } else if (roll < 95) {
+        } else if (roll < 91) {
             op.kind = Op::Kind::Checkpoint;
+        } else if (roll < 93) {
+            // Names are globally unique so an op sequence never
+            // recreates a deleted snapshot under the same name — the
+            // post-crash table oracle stays per-name unambiguous.
+            if (model.snapshots().size() >= cfg.maxLiveSnapshots)
+                continue;
+            op.kind = Op::Kind::SnapCreate;
+            op.path = "s" + std::to_string(snapCounter++);
+        } else if (roll < 97) {
+            if (model.snapshots().empty())
+                continue;
+            const std::vector<std::string> live(
+                model.snapshots().begin(), model.snapshots().end());
+            op.kind = Op::Kind::SnapDelete;
+            op.path = pick(rng, live);
         } else {
             op.kind = Op::Kind::Clean;
             op.len = 2 + rng.below(6);

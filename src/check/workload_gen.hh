@@ -35,6 +35,9 @@ struct GenConfig
     double pBigWrite = 0.02;
     /** Soft cap on total live bytes (stay well under the device). */
     std::uint64_t liveByteBudget = 1200 * 1024;
+    /** Concurrent snapshots (each pins its live segment set, so keep
+     *  well under the segment budget of the small test geometry). */
+    unsigned maxLiveSnapshots = 2;
 };
 
 /** Generate @p cfg.numOps valid ops, deterministically from @p seed. */

@@ -30,6 +30,7 @@ Lfs::writeCheckpoint()
     hdr.numImapChunks =
         static_cast<std::uint32_t>(imapChunkAddr.size());
     hdr.numSegments = static_cast<std::uint32_t>(sb.numSegments);
+    hdr.numSnapshots = static_cast<std::uint32_t>(snaps.size());
 
     std::vector<std::uint8_t> body;
     body.resize(8ull * imapChunkAddr.size() +
@@ -42,6 +43,39 @@ Lfs::writeCheckpoint()
         ue[s].liveBytes = usage[s].liveBytes;
         ue[s].pad = 0;
         ue[s].writeSeq = usage[s].writeSeq;
+    }
+
+    // Snapshot table: fixed record + name + imap addrs + pin bitmap
+    // per snapshot, all inside the body checksum so a torn checkpoint
+    // can never surface a half-updated table.
+    for (const SnapshotRecord &r : snaps) {
+        SnapshotDiskRecord sr{};
+        sr.id = r.id;
+        sr.nameLen = static_cast<std::uint32_t>(r.name.size());
+        sr.createSeq = r.createSeq;
+        sr.nextSegSeq = r.nextSegSeq;
+        sr.root = r.root;
+        sr.nextIno = r.nextIno;
+        sr.numImapChunks =
+            static_cast<std::uint32_t>(r.imapChunkAddr.size());
+        sr.numSegments = static_cast<std::uint32_t>(sb.numSegments);
+
+        const std::size_t base = body.size();
+        body.resize(base + snapshotRecordBytes(sr.nameLen,
+                                               sr.numImapChunks,
+                                               sr.numSegments));
+        std::uint8_t *p = body.data() + base;
+        std::memcpy(p, &sr, sizeof(sr));
+        p += sizeof(sr);
+        std::memcpy(p, r.name.data(), r.name.size());
+        p += r.name.size();
+        std::memcpy(p, r.imapChunkAddr.data(),
+                    8ull * r.imapChunkAddr.size());
+        p += 8ull * r.imapChunkAddr.size();
+        for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+            if (r.pinned[s])
+                p[s / 8] |= std::uint8_t(1u << (s % 8));
+        }
     }
     hdr.bodyChecksum = fnv1a({body.data(), body.size()});
     {
@@ -67,7 +101,8 @@ Lfs::writeCheckpoint()
 bool
 Lfs::readCheckpoint(std::uint64_t region_block, CheckpointHeader &hdr,
                     std::vector<BlockAddr> &chunk_addrs,
-                    std::vector<Usage> &usage_out) const
+                    std::vector<Usage> &usage_out,
+                    std::vector<SnapshotRecord> &snaps_out) const
 {
     std::vector<std::uint8_t> region(
         std::size_t(sb.cpBlocks) * sb.blockSize);
@@ -87,15 +122,41 @@ Lfs::readCheckpoint(std::uint64_t region_block, CheckpointHeader &hdr,
         }
     }
     if (hdr.numImapChunks != imapChunkAddr.size() ||
-        hdr.numSegments != sb.numSegments) {
+        hdr.numSegments != sb.numSegments ||
+        hdr.numSnapshots > maxSnapshots) {
         return false;
     }
 
-    const std::size_t body_size = 8ull * hdr.numImapChunks +
-                                  sizeof(UsageEntry) * hdr.numSegments;
-    if (sizeof(hdr) + body_size > region.size())
+    const std::size_t fixed_size = 8ull * hdr.numImapChunks +
+                                   sizeof(UsageEntry) * hdr.numSegments;
+    if (sizeof(hdr) + fixed_size > region.size())
         return false;
     const std::uint8_t *body = region.data() + sizeof(hdr);
+    const std::size_t body_cap = region.size() - sizeof(hdr);
+
+    // Walk the snapshot records to learn the body's total size (each
+    // is length-prefixed); any inconsistency means a torn or foreign
+    // region and invalidates the whole checkpoint.
+    std::size_t body_size = fixed_size;
+    std::vector<SnapshotDiskRecord> recs(hdr.numSnapshots);
+    std::vector<std::size_t> rec_off(hdr.numSnapshots);
+    for (std::uint32_t i = 0; i < hdr.numSnapshots; ++i) {
+        if (body_size + sizeof(SnapshotDiskRecord) > body_cap)
+            return false;
+        std::memcpy(&recs[i], body + body_size,
+                    sizeof(SnapshotDiskRecord));
+        const SnapshotDiskRecord &sr = recs[i];
+        if (sr.nameLen == 0 || sr.nameLen > maxSnapshotNameLen ||
+            sr.numImapChunks != hdr.numImapChunks ||
+            sr.numSegments != hdr.numSegments) {
+            return false;
+        }
+        rec_off[i] = body_size;
+        body_size += snapshotRecordBytes(sr.nameLen, sr.numImapChunks,
+                                         sr.numSegments);
+        if (body_size > body_cap)
+            return false;
+    }
     if (hdr.bodyChecksum != fnv1a({body, body_size}))
         return false;
 
@@ -107,6 +168,29 @@ Lfs::readCheckpoint(std::uint64_t region_block, CheckpointHeader &hdr,
     for (std::size_t s = 0; s < usage_out.size(); ++s) {
         usage_out[s].liveBytes = ue[s].liveBytes;
         usage_out[s].writeSeq = ue[s].writeSeq;
+    }
+
+    snaps_out.clear();
+    snaps_out.reserve(hdr.numSnapshots);
+    for (std::uint32_t i = 0; i < hdr.numSnapshots; ++i) {
+        const SnapshotDiskRecord &sr = recs[i];
+        const std::uint8_t *p =
+            body + rec_off[i] + sizeof(SnapshotDiskRecord);
+        SnapshotRecord r;
+        r.id = sr.id;
+        r.name.assign(reinterpret_cast<const char *>(p), sr.nameLen);
+        p += sr.nameLen;
+        r.createSeq = sr.createSeq;
+        r.nextSegSeq = sr.nextSegSeq;
+        r.root = sr.root;
+        r.nextIno = sr.nextIno;
+        r.imapChunkAddr.resize(sr.numImapChunks);
+        std::memcpy(r.imapChunkAddr.data(), p, 8ull * sr.numImapChunks);
+        p += 8ull * sr.numImapChunks;
+        r.pinned.assign(sr.numSegments, false);
+        for (std::uint64_t s = 0; s < sr.numSegments; ++s)
+            r.pinned[s] = (p[s / 8] >> (s % 8)) & 1u;
+        snaps_out.push_back(std::move(r));
     }
     return true;
 }

@@ -227,6 +227,10 @@ Lfs::clean(unsigned target_free)
                 continue;
             if (usage[s].liveBytes == 0 || usage[s].writeSeq == 0)
                 continue;
+            // Pinned segments hold snapshot data; cleaning one would
+            // relocate blocks the snapshot still references.
+            if (segPinCount[s] > 0)
+                continue;
             const double u =
                 std::min(1.0, usage[s].liveBytes / cap);
             const double age = static_cast<double>(

@@ -39,6 +39,10 @@ constexpr std::uint32_t formatVersion = 1;
 constexpr unsigned numDirect = 12;
 constexpr std::uint32_t inodeBytes = 256;
 
+/** Snapshot table limits (records live in the checkpoint body). */
+constexpr std::uint32_t maxSnapshots = 8;
+constexpr std::uint32_t maxSnapshotNameLen = 64;
+
 /** File types stored in DiskInode::type. */
 enum class FileType : std::uint16_t { Free = 0, Regular = 1, Directory = 2 };
 
@@ -176,7 +180,7 @@ static_assert(sizeof(UsageEntry) == 16);
 struct CheckpointHeader
 {
     std::uint32_t magic;
-    std::uint32_t pad0;
+    std::uint32_t numSnapshots;   // records after the usage table
     std::uint64_t seqno;          // higher wins at mount
     std::uint64_t logHeadSegment; // open (unwritten) segment
     std::uint64_t nextSegSeq;     // sequence the open segment will get
@@ -184,10 +188,47 @@ struct CheckpointHeader
     InodeNum rootIno;
     std::uint32_t numImapChunks;
     std::uint32_t numSegments;
-    std::uint32_t bodyChecksum;   // over imap addrs + usage table
+    std::uint32_t bodyChecksum;   // over imap addrs + usage + snapshots
     std::uint32_t checksum;       // over this header
 };
 static_assert(sizeof(CheckpointHeader) == 56);
+
+/**
+ * Fixed prefix of one snapshot-table record in the checkpoint body.
+ * Followed by nameLen name bytes, numImapChunks 8-byte imap chunk
+ * addresses, and a ceil(numSegments / 8)-byte pinned-segment bitmap.
+ */
+struct SnapshotDiskRecord
+{
+    std::uint32_t id;
+    std::uint32_t nameLen;
+    std::uint64_t createSeq;      // checkpoint seqno that captured it
+    std::uint64_t nextSegSeq;     // log sequence at capture
+    InodeNum root;
+    InodeNum nextIno;
+    std::uint32_t numImapChunks;
+    std::uint32_t numSegments;
+};
+static_assert(sizeof(SnapshotDiskRecord) == 40);
+
+/** Serialized size of one snapshot record with @p name_len name bytes. */
+inline std::uint64_t
+snapshotRecordBytes(std::uint64_t name_len, std::uint64_t num_imap_chunks,
+                    std::uint64_t num_segments)
+{
+    return sizeof(SnapshotDiskRecord) + name_len + 8 * num_imap_chunks +
+           (num_segments + 7) / 8;
+}
+
+/** Checkpoint-body bytes format() reserves for a full snapshot table. */
+inline std::uint64_t
+snapshotReserveBytes(std::uint64_t num_imap_chunks,
+                     std::uint64_t num_segments)
+{
+    return maxSnapshots * snapshotRecordBytes(maxSnapshotNameLen,
+                                              num_imap_chunks,
+                                              num_segments);
+}
 
 #pragma pack(pop)
 

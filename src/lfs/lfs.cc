@@ -34,9 +34,10 @@ Lfs::format(fs::BlockDevice &dev, const Params &params)
     std::uint64_t nseg = total / params.segBlocks;
     std::uint32_t cp_blocks = 1;
     for (int round = 0; round < 8; ++round) {
-        const std::uint64_t body = sizeof(CheckpointHeader) +
-                                   8ull * sb.numImapChunks() +
-                                   sizeof(UsageEntry) * nseg;
+        const std::uint64_t body =
+            sizeof(CheckpointHeader) + 8ull * sb.numImapChunks() +
+            sizeof(UsageEntry) * nseg +
+            snapshotReserveBytes(sb.numImapChunks(), nseg);
         cp_blocks = static_cast<std::uint32_t>(
             (body + params.blockSize - 1) / params.blockSize);
         const std::uint64_t avail = total - 1 - 2ull * cp_blocks;
@@ -134,7 +135,11 @@ Lfs::Lfs(fs::BlockDevice &dev_) : dev(dev_)
     imapChunkAddr.assign(sb.numImapChunks(), nullAddr);
     imapChunkDirty.assign(sb.numImapChunks(), false);
     usage.assign(sb.numSegments, Usage{});
+    segPinCount.assign(sb.numSegments, 0);
     segw = std::make_unique<SegmentWriter>(dev, sb);
+    segw->setReuseGuard([this](std::uint64_t seg) {
+        return segPinCount[seg] == 0;
+    });
 
     mount();
 
@@ -201,8 +206,10 @@ Lfs::pickFreeSegment() const
     for (std::uint64_t i = 1; i <= sb.numSegments; ++i) {
         const std::uint64_t seg =
             (cur + i) % sb.numSegments;
-        if (seg != cur && usage[seg].liveBytes == 0)
+        if (seg != cur && usage[seg].liveBytes == 0 &&
+            segPinCount[seg] == 0) {
             return seg;
+        }
     }
     throw LfsError(Errno::NoSpace, "log full: no clean segments");
 }
@@ -242,7 +249,7 @@ Lfs::freeSegments() const
 {
     std::uint64_t n = 0;
     for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
-        if (usage[s].liveBytes == 0 &&
+        if (usage[s].liveBytes == 0 && segPinCount[s] == 0 &&
             !(segw->isOpen() && s == segw->currentSegment())) {
             ++n;
         }
@@ -412,6 +419,99 @@ Lfs::checkpoint()
     sync();
     writeCheckpoint();
     ++_stats.checkpoints;
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+void
+Lfs::pinSnapshot(const SnapshotRecord &rec)
+{
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        if (rec.pinned[s])
+            ++segPinCount[s];
+    }
+}
+
+void
+Lfs::unpinSnapshot(const SnapshotRecord &rec)
+{
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        if (rec.pinned[s]) {
+            if (segPinCount[s] == 0)
+                sim::panic("Lfs: unpin of unpinned segment %llu",
+                           (unsigned long long)s);
+            --segPinCount[s];
+        }
+    }
+}
+
+const SnapshotRecord *
+Lfs::findSnapshot(const std::string &name) const
+{
+    for (const SnapshotRecord &r : snaps) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+Lfs::takeSnapshot(const std::string &name)
+{
+    if (name.empty() || name.size() > maxSnapshotNameLen)
+        throw LfsError(Errno::Invalid, "bad snapshot name");
+    if (findSnapshot(name) != nullptr)
+        throw LfsError(Errno::Exists, "snapshot " + name + " exists");
+    if (snaps.size() >= maxSnapshots)
+        throw LfsError(Errno::NoSpace, "snapshot table full");
+
+    // After sync() every snapshot-reachable block sits in a segment
+    // with non-zero live bytes, so pinning exactly those segments pins
+    // the snapshot's whole closure.  The freshly opened head segment
+    // has zero live bytes and stays writable.
+    sync();
+
+    SnapshotRecord rec;
+    rec.id = nextSnapId++;
+    rec.name = name;
+    rec.createSeq = cpSeqno + 1; // the checkpoint written below
+    rec.nextSegSeq = segw->segSeq();
+    rec.root = root;
+    rec.nextIno = nextIno;
+    rec.imapChunkAddr = imapChunkAddr;
+    rec.pinned.assign(sb.numSegments, false);
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s)
+        rec.pinned[s] = usage[s].liveBytes > 0;
+
+    snaps.push_back(rec);
+    pinSnapshot(snaps.back());
+    writeCheckpoint();
+    ++_stats.checkpoints;
+    ++_stats.snapshotsCreated;
+    return rec.id;
+}
+
+void
+Lfs::deleteSnapshot(const std::string &name)
+{
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        if (snaps[i].name != name)
+            continue;
+        // Make the deletion durable while the pins are still in
+        // place; only then may the segments be reused.
+        SnapshotRecord rec = std::move(snaps[i]);
+        snaps.erase(snaps.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+        sync();
+        writeCheckpoint();
+        ++_stats.checkpoints;
+        unpinSnapshot(rec);
+        ++_stats.snapshotsDeleted;
+        return;
+    }
+    throw LfsError(Errno::NoEntry, "snapshot " + name + " not found");
 }
 
 // ---------------------------------------------------------------------

@@ -84,6 +84,24 @@ struct FileExtent
     bool hole = false;          // unwritten range (reads as zero)
 };
 
+/**
+ * One instant, read-only snapshot: the root/imap state captured by
+ * takeSnapshot() plus the set of segments pinned against cleaning.
+ * Persisted in the checkpoint body, so snapshots survive crash +
+ * roll-forward (a torn checkpoint falls back to the previous table).
+ */
+struct SnapshotRecord
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::uint64_t createSeq = 0; // checkpoint seqno that captured it
+    std::uint64_t nextSegSeq = 0; // log sequence at capture
+    InodeNum root = nullIno;
+    InodeNum nextIno = 1;
+    std::vector<BlockAddr> imapChunkAddr;
+    std::vector<bool> pinned;    // per-segment: holds snapshot data
+};
+
 /** Kinds of inconsistency fsck() can report. */
 enum class FsckIssue {
     AddrOutsideLog,     // block pointer outside the segment log
@@ -164,6 +182,8 @@ class Lfs
         std::uint64_t cleanerBlocksCopied = 0;
         std::uint64_t checkpoints = 0;
         std::uint64_t rollForwardSegments = 0;
+        std::uint64_t snapshotsCreated = 0;
+        std::uint64_t snapshotsDeleted = 0;
     };
 
     /** Write a fresh, empty file system to @p dev. */
@@ -218,6 +238,28 @@ class Lfs
 
     /** Clean when free segments drop below a low-water mark. */
     void setAutoClean(bool on) { autoClean = on; }
+
+    /**
+     * @{ Snapshots.  takeSnapshot() syncs, captures the current
+     * root/imap state under @p name, pins every live segment so the
+     * cleaner and allocator never reclaim snapshot data, and
+     * checkpoints so the snapshot is durable.  deleteSnapshot()
+     * removes the record durably before releasing the pins.
+     */
+    std::uint32_t takeSnapshot(const std::string &name);
+    void deleteSnapshot(const std::string &name);
+    const std::vector<SnapshotRecord> &listSnapshots() const
+    {
+        return snaps;
+    }
+    /** Snapshot by name, or nullptr (invalidated by snapshot ops). */
+    const SnapshotRecord *findSnapshot(const std::string &name) const;
+    /** True if any snapshot pins segment @p seg. */
+    bool segmentPinned(std::uint64_t seg) const
+    {
+        return segPinCount[seg] > 0;
+    }
+    /** @} */
 
     /** @{ Introspection. */
     std::uint64_t freeSegments() const;
@@ -308,7 +350,13 @@ class Lfs
     bool readCheckpoint(std::uint64_t region_block,
                         CheckpointHeader &hdr,
                         std::vector<BlockAddr> &chunk_addrs,
-                        std::vector<Usage> &usage_out) const;
+                        std::vector<Usage> &usage_out,
+                        std::vector<SnapshotRecord> &snaps_out) const;
+    /** @} */
+
+    /** @{ Snapshot pin accounting (lfs.cc). */
+    void pinSnapshot(const SnapshotRecord &rec);
+    void unpinSnapshot(const SnapshotRecord &rec);
     /** @} */
 
     /** Mount-time recovery (recovery.cc). */
@@ -323,6 +371,9 @@ class Lfs
     std::vector<BlockAddr> imapChunkAddr;
     std::vector<bool> imapChunkDirty;
     std::vector<Usage> usage;
+    std::vector<SnapshotRecord> snaps;
+    std::vector<std::uint32_t> segPinCount; // snapshots pinning each seg
+    std::uint32_t nextSnapId = 1;
 
     mutable std::map<InodeNum, DiskInode> inodeCache;
     std::set<InodeNum> dirtyInodes;

@@ -26,8 +26,9 @@ Lfs::mount()
     CheckpointHeader h0{}, h1{};
     std::vector<BlockAddr> a0, a1;
     std::vector<Usage> u0, u1;
-    const bool v0 = readCheckpoint(sb.cp0Block, h0, a0, u0);
-    const bool v1 = readCheckpoint(sb.cp1Block, h1, a1, u1);
+    std::vector<SnapshotRecord> s0, s1;
+    const bool v0 = readCheckpoint(sb.cp0Block, h0, a0, u0, s0);
+    const bool v1 = readCheckpoint(sb.cp1Block, h1, a1, u1, s1);
     if (!v0 && !v1)
         throw LfsError(Errno::Invalid, "no valid checkpoint region");
 
@@ -35,9 +36,18 @@ Lfs::mount()
     const CheckpointHeader &hdr = use1 ? h1 : h0;
     imapChunkAddr = use1 ? a1 : a0;
     usage = use1 ? u1 : u0;
+    snaps = use1 ? std::move(s1) : std::move(s0);
     cpSeqno = hdr.seqno;
     root = hdr.rootIno;
     nextIno = hdr.nextIno == nullIno ? 1 : hdr.nextIno;
+
+    // Re-arm the snapshot pins before roll-forward touches the log so
+    // the recovered head can never land on snapshot data.
+    for (const SnapshotRecord &r : snaps) {
+        pinSnapshot(r);
+        if (r.id >= nextSnapId)
+            nextSnapId = r.id + 1;
+    }
 
     loadImapChunks();
     rollForward(hdr.logHeadSegment, hdr.nextSegSeq);
@@ -118,12 +128,15 @@ Lfs::rollForward(std::uint64_t start_seg, std::uint64_t start_seq)
     if (any_applied)
         loadImapChunks();
 
-    // The first segment that failed validation becomes the new head.
-    if (seg >= sb.numSegments) {
-        // Corrupt successor pointer: fall back to any clean segment.
+    // The first segment that failed validation becomes the new head —
+    // unless it is pinned by a snapshot (or the successor pointer is
+    // corrupt), in which case fall back to any clean unpinned segment.
+    if (seg >= sb.numSegments || segPinCount[seg] > 0) {
         seg = 0;
-        while (seg < sb.numSegments && usage[seg].liveBytes != 0)
+        while (seg < sb.numSegments &&
+               (usage[seg].liveBytes != 0 || segPinCount[seg] > 0)) {
             ++seg;
+        }
         if (seg == sb.numSegments)
             throw LfsError(Errno::NoSpace,
                            "no clean segment for the log head");

@@ -19,6 +19,9 @@ SegmentWriter::open(std::uint64_t seg, std::uint64_t seg_seq)
     if (seg >= sb.numSegments)
         sim::panic("SegmentWriter: segment %llu out of range",
                    (unsigned long long)seg);
+    if (reuseGuard && !reuseGuard(seg))
+        sim::panic("SegmentWriter: opening pinned segment %llu",
+                   (unsigned long long)seg);
     opened = true;
     segIdx = seg;
     seq = seg_seq;

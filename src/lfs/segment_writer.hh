@@ -15,6 +15,7 @@
 #define RAID2_LFS_SEGMENT_WRITER_HH
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,16 @@ class SegmentWriter
 
     /** Begin filling segment @p seg with log sequence @p seg_seq. */
     void open(std::uint64_t seg, std::uint64_t seg_seq);
+
+    /**
+     * Last-line defence for snapshot pinning: open() panics when the
+     * guard returns false for the target segment (a pinned segment
+     * must never be rewritten).
+     */
+    void setReuseGuard(std::function<bool(std::uint64_t)> guard)
+    {
+        reuseGuard = std::move(guard);
+    }
 
     bool isOpen() const { return opened; }
     std::uint64_t currentSegment() const { return segIdx; }
@@ -80,6 +91,7 @@ class SegmentWriter
 
     fs::BlockDevice &dev;
     const Superblock &sb;
+    std::function<bool(std::uint64_t)> reuseGuard;
 
     bool opened = false;
     std::uint64_t segIdx = 0;

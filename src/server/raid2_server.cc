@@ -73,6 +73,53 @@ Raid2Server::fs()
     return *_fs;
 }
 
+fs::BlockDevice &
+Raid2Server::fsDevice()
+{
+    if (!hookDev)
+        sim::fatal("Raid2Server %s: configured without a file system",
+                   _name.c_str());
+    return *hookDev;
+}
+
+fs::MemBlockDevice &
+Raid2Server::rawFsDevice()
+{
+    if (!fsDev)
+        sim::fatal("Raid2Server %s: configured without a file system",
+                   _name.c_str());
+    return *fsDev;
+}
+
+void
+Raid2Server::remountFs()
+{
+    if (!fsDev)
+        sim::fatal("Raid2Server %s: configured without a file system",
+                   _name.c_str());
+    _fs.reset();
+    _fs = std::make_unique<lfs::Lfs>(*hookDev);
+    _fs->setAutoClean(true);
+    // Mount traffic is recovery bookkeeping, not workload.
+    pendingWrites.clear();
+}
+
+void
+Raid2Server::beginRestore()
+{
+    if (_restoreActive)
+        sim::fatal("Raid2Server %s: restore already active",
+                   _name.c_str());
+    _restoreActive = true;
+    ++_restores;
+}
+
+void
+Raid2Server::endRestore()
+{
+    _restoreActive = false;
+}
+
 fault::FaultController &
 Raid2Server::faults()
 {
@@ -219,27 +266,35 @@ Raid2Server::registerStats(sim::StatsRegistry &reg) const
     reg.addGauge("server.flushed_bytes", [this] {
         return static_cast<double>(_flushedBytes);
     });
+    reg.addGauge("server.restores", [this] {
+        return static_cast<double>(_restores);
+    });
     if (_fs) {
-        const lfs::Lfs *fsp = _fs.get();
-        reg.addGauge("lfs.segments_written", [fsp] {
-            return static_cast<double>(fsp->stats().segmentsWritten);
+        // Capture the server, not the Lfs: remountFs() replaces the
+        // file system object and would dangle a raw pointer.
+        reg.addGauge("lfs.segments_written", [this] {
+            return static_cast<double>(_fs->stats().segmentsWritten);
         });
-        reg.addGauge("lfs.cleaner.segments_cleaned", [fsp] {
+        reg.addGauge("lfs.cleaner.segments_cleaned", [this] {
             return static_cast<double>(
-                fsp->stats().cleanerSegmentsCleaned);
+                _fs->stats().cleanerSegmentsCleaned);
         });
-        reg.addGauge("lfs.cleaner.blocks_copied", [fsp] {
-            return static_cast<double>(fsp->stats().cleanerBlocksCopied);
-        });
-        reg.addGauge("lfs.checkpoints", [fsp] {
-            return static_cast<double>(fsp->stats().checkpoints);
-        });
-        reg.addGauge("lfs.roll_forward_segments", [fsp] {
+        reg.addGauge("lfs.cleaner.blocks_copied", [this] {
             return static_cast<double>(
-                fsp->stats().rollForwardSegments);
+                _fs->stats().cleanerBlocksCopied);
         });
-        reg.addGauge("lfs.free_segments", [fsp] {
-            return static_cast<double>(fsp->freeSegments());
+        reg.addGauge("lfs.checkpoints", [this] {
+            return static_cast<double>(_fs->stats().checkpoints);
+        });
+        reg.addGauge("lfs.roll_forward_segments", [this] {
+            return static_cast<double>(
+                _fs->stats().rollForwardSegments);
+        });
+        reg.addGauge("lfs.free_segments", [this] {
+            return static_cast<double>(_fs->freeSegments());
+        });
+        reg.addGauge("lfs.snapshots", [this] {
+            return static_cast<double>(_fs->listSnapshots().size());
         });
         hookDev->registerStats(reg, "lfs.device");
     }

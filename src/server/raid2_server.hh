@@ -179,6 +179,28 @@ class Raid2Server
     /** The host's standard-mode file cache. */
     host::LruCache &hostCache() { return _hostCache; }
 
+    // -----------------------------------------------------------------
+    // Snapshot / backup plumbing (src/snap/).
+    // -----------------------------------------------------------------
+
+    /** The functional LFS device (reads return exactly the log bytes
+     *  the file system wrote; writes mirror into the timed plane). */
+    fs::BlockDevice &fsDevice();
+    /** The raw in-memory twin, bypassing the write-mirroring hook —
+     *  for restore writes whose array timing the BackupEngine models
+     *  itself. */
+    fs::MemBlockDevice &rawFsDevice();
+    /** Tear down and re-mount LFS from the functional device (after a
+     *  restore rewrote it). */
+    void remountFs();
+    /** @{ While a restore is rewriting the array, ops arriving through
+     *  the request scheduler complete with Status::Busy instead of
+     *  racing the restore writer. */
+    void beginRestore();
+    void endRestore();
+    bool restoreActive() const { return _restoreActive; }
+    /** @} */
+
     /** @{ Statistics. */
     std::uint64_t segmentFlushes() const { return _segmentFlushes; }
     std::uint64_t flushedBytes() const { return _flushedBytes; }
@@ -231,6 +253,8 @@ class Raid2Server
 
     std::uint64_t _segmentFlushes = 0;
     std::uint64_t _flushedBytes = 0;
+    std::uint64_t _restores = 0;
+    bool _restoreActive = false;
 };
 
 } // namespace raid2::server

@@ -108,6 +108,13 @@ void
 RequestScheduler::submit(Request r)
 {
     ClassState &cs = state(classify(r));
+    // A restore is rewriting the array underneath the file system;
+    // admitting anything would race the restore writer.  Complete
+    // asynchronously with Busy so clients back off and retry.
+    if (srv.restoreActive()) {
+        reject(cs, std::move(r), Status::Busy);
+        return;
+    }
     if (cs.depth >= cs.queueCap) {
         reject(cs, std::move(r), Status::Busy);
         return;

@@ -1,0 +1,490 @@
+#include "snap/backup_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+#include "sim/trace_sink.hh"
+
+namespace raid2::snap {
+
+using lfs::BlockAddr;
+using lfs::Errno;
+using lfs::LfsError;
+
+BackupEngine::BackupEngine(sim::EventQueue &eq_,
+                           server::Raid2Server &src_,
+                           server::Raid2Server &dst_, const Config &cfg_)
+    : eq(eq_), src(src_), dst(dst_), cfg(cfg_),
+      chan(eq_, src_.board().name() + "-backup",
+           src_.board().hippiSrcPort(), dst_.board().hippiDstPort())
+{
+    if (!src.config().withFs || !dst.config().withFs)
+        sim::panic("BackupEngine: both servers need a file system");
+
+    std::vector<std::uint8_t> block(src.rawFsDevice().blockSize());
+    src.rawFsDevice().readBlock(0, {block.data(), block.size()});
+    std::memcpy(&sb, block.data(), sizeof(sb));
+    if (!sb.valid())
+        sim::panic("BackupEngine: bad source superblock");
+
+    // The stream rewrites target segments in place, so the two file
+    // systems must share a geometry.
+    std::vector<std::uint8_t> dblock(dst.rawFsDevice().blockSize());
+    dst.rawFsDevice().readBlock(0, {dblock.data(), dblock.size()});
+    lfs::Superblock dsb;
+    std::memcpy(&dsb, dblock.data(), sizeof(dsb));
+    if (!dsb.valid() || dsb.blockSize != sb.blockSize ||
+        dsb.segBlocks != sb.segBlocks ||
+        dsb.numSegments != sb.numSegments ||
+        dsb.firstSegBlock != sb.firstSegBlock ||
+        dsb.maxInodes != sb.maxInodes) {
+        sim::panic("BackupEngine: source/target geometry mismatch");
+    }
+
+    if (cfg.windowSegments == 0)
+        cfg.windowSegments = 1;
+    const std::uint64_t cap = src.board().buffers().capacity();
+    const std::uint64_t fit =
+        std::max<std::uint64_t>(1, cap / segmentBytes());
+    cfg.windowSegments = static_cast<unsigned>(
+        std::min<std::uint64_t>(cfg.windowSegments, fit));
+}
+
+BackupEngine::BackupEngine(sim::EventQueue &eq_,
+                           server::Raid2Server &src_,
+                           server::Raid2Server &dst_)
+    : BackupEngine(eq_, src_, dst_, Config{})
+{
+}
+
+std::uint64_t
+BackupEngine::segmentBytes() const
+{
+    return std::uint64_t(sb.segBlocks) * sb.blockSize;
+}
+
+std::uint64_t
+BackupEngine::segmentByteOffset(std::uint64_t seg) const
+{
+    return sb.segmentStartBlock(seg) * sb.blockSize;
+}
+
+const lfs::SnapshotRecord &
+BackupEngine::findSnap(const std::string &name) const
+{
+    const lfs::SnapshotRecord *rec = src.fs().findSnapshot(name);
+    if (rec == nullptr)
+        throw LfsError(Errno::NoEntry, "no snapshot named " + name);
+    return *rec;
+}
+
+void
+BackupEngine::sendWithRetry(std::uint64_t bytes, unsigned attempt,
+                            std::function<void()> done)
+{
+    if (chan.linkDown() && attempt < cfg.maxRetries) {
+        // Deterministic exponential backoff: the link is down right
+        // now, so burning a send on it would only defer inside the
+        // channel; back off and probe again.
+        ++_retries;
+        sim::Tick delay = cfg.retryBackoff;
+        for (unsigned i = 0; i < attempt && delay < cfg.retryBackoffMax;
+             ++i)
+            delay *= 2;
+        delay = std::min(delay, cfg.retryBackoffMax);
+        eq.scheduleIn(delay, [this, bytes, attempt,
+                              done = std::move(done)]() mutable {
+            sendWithRetry(bytes, attempt + 1, std::move(done));
+        });
+        return;
+    }
+    chan.send(bytes, {src.board().memory()}, {dst.board().memory()},
+              std::move(done));
+}
+
+void
+BackupEngine::backupFull(const std::string &snap_name,
+                         std::function<void()> done)
+{
+    const lfs::SnapshotRecord rec = findSnap(snap_name);
+    std::vector<std::uint64_t> segs;
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        if (rec.pinned[s])
+            segs.push_back(s);
+    }
+    ++_full;
+    startStream(rec, std::move(segs), std::move(done));
+}
+
+void
+BackupEngine::backupIncremental(const std::string &snap_name,
+                                const std::string &base_name,
+                                std::function<void()> done)
+{
+    const lfs::SnapshotRecord rec = findSnap(snap_name);
+    const lfs::SnapshotRecord base = findSnap(base_name);
+
+    std::vector<std::uint64_t> segs;
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        if (!rec.pinned[s])
+            continue;
+        if (base.pinned[s]) {
+            // Pinned segments are immutable: the base already shipped
+            // this exact image.
+            if (shipped.count(s) == 0) {
+                throw LfsError(Errno::Invalid,
+                               "base snapshot " + base_name +
+                                   " is not on the backup target");
+            }
+            ++_skipped;
+            continue;
+        }
+        segs.push_back(s);
+    }
+    ++_incremental;
+    startStream(rec, std::move(segs), std::move(done));
+}
+
+void
+BackupEngine::startStream(const lfs::SnapshotRecord &rec,
+                          std::vector<std::uint64_t> segs,
+                          std::function<void()> done)
+{
+    if (active)
+        throw LfsError(Errno::Invalid, "backup engine busy");
+    active = true;
+    streamSegs = std::move(segs);
+    nextIssue = 0;
+    completedSegs = 0;
+    inFlight = 0;
+    streamDone = std::move(done);
+
+    // Manifest frame first: superblock + the serialized snapshot
+    // record, so the receiver can interpret the segments that follow.
+    const std::uint64_t manifest_bytes =
+        sb.blockSize + lfs::snapshotRecordBytes(rec.name.size(),
+                                                sb.numImapChunks(),
+                                                sb.numSegments);
+    const sim::Tick began = eq.now();
+    sendWithRetry(manifest_bytes, 0, [this, began, manifest_bytes] {
+        if (auto *tr = eq.tracer())
+            tr->complete("backup", "manifest", began, eq.now(),
+                         manifest_bytes);
+        if (streamSegs.empty())
+            finishStream();
+        else
+            issueNext();
+    });
+}
+
+void
+BackupEngine::issueNext()
+{
+    while (inFlight < cfg.windowSegments &&
+           nextIssue < streamSegs.size())
+        issueSegment(streamSegs[nextIssue++]);
+}
+
+void
+BackupEngine::issueSegment(std::uint64_t seg)
+{
+    ++inFlight;
+    const std::uint64_t off = segmentByteOffset(seg);
+    const std::uint64_t n = segmentBytes();
+    src.board().buffers().alloc(n, [this, seg, off, n] {
+        const sim::Tick began = eq.now();
+        src.array().read(off, n, [this, seg, off, n, began] {
+            sendWithRetry(n, 0, [this, seg, off, n, began] {
+                dst.array().write(off, n, [this, seg, off, n, began] {
+                    finishSegment(seg, off, n, began);
+                });
+            });
+        });
+    });
+}
+
+void
+BackupEngine::finishSegment(std::uint64_t seg, std::uint64_t off,
+                            std::uint64_t bytes, sim::Tick began)
+{
+    // Functional twin of the transfer: the segment image lands at the
+    // same address on the target.  Pinned segments are immutable on
+    // the source, so reading them now (after the timed transfer) sees
+    // the same bytes the timed reads moved.
+    const std::uint64_t bno = off / sb.blockSize;
+    const std::uint64_t count = bytes / sb.blockSize;
+    std::vector<std::uint8_t> buf(bytes);
+    src.rawFsDevice().readRange(bno, count, {buf.data(), buf.size()});
+    dst.rawFsDevice().writeRange(bno, count, {buf.data(), buf.size()});
+
+    src.board().buffers().free(bytes);
+    shipped.insert(seg);
+    ++_segments;
+    _bytes += bytes;
+    if (auto *tr = eq.tracer())
+        tr->complete("backup", "segment", began, eq.now(), bytes);
+
+    --inFlight;
+    ++completedSegs;
+    if (completedSegs == streamSegs.size())
+        finishStream();
+    else
+        issueNext();
+}
+
+void
+BackupEngine::finishStream()
+{
+    active = false;
+    auto done = std::move(streamDone);
+    streamDone = nullptr;
+    if (done)
+        done();
+}
+
+std::vector<std::uint8_t>
+BackupEngine::synthesizeCheckpoint(const lfs::SnapshotRecord &rec) const
+{
+    lfs::CheckpointHeader hdr{};
+    hdr.magic = lfs::checkpointMagic;
+    hdr.numSnapshots = 1;
+    hdr.seqno = std::max<std::uint64_t>(rec.createSeq, 1);
+    hdr.nextSegSeq = rec.nextSegSeq;
+    hdr.nextIno = rec.nextIno;
+    hdr.rootIno = rec.root;
+    hdr.numImapChunks =
+        static_cast<std::uint32_t>(rec.imapChunkAddr.size());
+    hdr.numSegments = static_cast<std::uint32_t>(sb.numSegments);
+
+    // Log head: the first segment the snapshot does not pin.  It was
+    // never shipped, so roll-forward finds no matching summary there
+    // and mount opens it fresh.
+    std::uint64_t head = 0;
+    while (head < sb.numSegments && rec.pinned[head])
+        ++head;
+    if (head == sb.numSegments)
+        sim::panic("BackupEngine: snapshot pins every segment");
+    hdr.logHeadSegment = head;
+
+    // Usage table: shipped (pinned) segments get their summary's
+    // block count — a safe superset of the live bytes, which is all
+    // the allocator and cleaner need to stay away; everything else is
+    // clean.
+    std::vector<std::uint8_t> body;
+    body.resize(8ull * rec.imapChunkAddr.size() +
+                sizeof(lfs::UsageEntry) * sb.numSegments);
+    std::memcpy(body.data(), rec.imapChunkAddr.data(),
+                8ull * rec.imapChunkAddr.size());
+    auto *ue = reinterpret_cast<lfs::UsageEntry *>(
+        body.data() + 8ull * rec.imapChunkAddr.size());
+    std::vector<std::uint8_t> sum(sb.blockSize);
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        ue[s] = lfs::UsageEntry{};
+        if (!rec.pinned[s])
+            continue;
+        dst.rawFsDevice().readBlock(sb.segmentStartBlock(s),
+                                    {sum.data(), sum.size()});
+        lfs::SummaryHeader sh;
+        std::memcpy(&sh, sum.data(), sizeof(sh));
+        if (sh.magic != lfs::summaryMagic) {
+            sim::panic("BackupEngine: shipped segment %llu has no "
+                       "valid summary",
+                       (unsigned long long)s);
+        }
+        ue[s].liveBytes = sh.count * sb.blockSize;
+        ue[s].writeSeq = sh.segSeq;
+    }
+
+    // The snapshot record itself rides in the checkpoint, so the
+    // restored file system keeps the pins (and the snapshot remains
+    // openable on the target).
+    {
+        lfs::SnapshotDiskRecord sr{};
+        sr.id = rec.id;
+        sr.nameLen = static_cast<std::uint32_t>(rec.name.size());
+        sr.createSeq = rec.createSeq;
+        sr.nextSegSeq = rec.nextSegSeq;
+        sr.root = rec.root;
+        sr.nextIno = rec.nextIno;
+        sr.numImapChunks =
+            static_cast<std::uint32_t>(rec.imapChunkAddr.size());
+        sr.numSegments = static_cast<std::uint32_t>(sb.numSegments);
+
+        const std::size_t base = body.size();
+        body.resize(base + lfs::snapshotRecordBytes(sr.nameLen,
+                                                    sr.numImapChunks,
+                                                    sr.numSegments));
+        std::uint8_t *p = body.data() + base;
+        std::memcpy(p, &sr, sizeof(sr));
+        p += sizeof(sr);
+        std::memcpy(p, rec.name.data(), rec.name.size());
+        p += rec.name.size();
+        std::memcpy(p, rec.imapChunkAddr.data(),
+                    8ull * rec.imapChunkAddr.size());
+        p += 8ull * rec.imapChunkAddr.size();
+        for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+            if (rec.pinned[s])
+                p[s / 8] |= std::uint8_t(1u << (s % 8));
+        }
+    }
+
+    hdr.bodyChecksum = lfs::fnv1a({body.data(), body.size()});
+    {
+        lfs::CheckpointHeader tmp = hdr;
+        tmp.checksum = 0;
+        hdr.checksum = lfs::fnv1a(
+            {reinterpret_cast<const std::uint8_t *>(&tmp), sizeof(tmp)});
+    }
+
+    std::vector<std::uint8_t> region(
+        std::size_t(sb.cpBlocks) * sb.blockSize, 0);
+    if (sizeof(hdr) + body.size() > region.size())
+        sim::panic("BackupEngine: checkpoint body exceeds region size");
+    std::memcpy(region.data(), &hdr, sizeof(hdr));
+    std::memcpy(region.data() + sizeof(hdr), body.data(), body.size());
+    return region;
+}
+
+void
+BackupEngine::restore(const std::string &snap_name,
+                      std::function<void(const lfs::FsckReport &)> done)
+{
+    if (active)
+        throw LfsError(Errno::Invalid, "backup engine busy");
+    const lfs::SnapshotRecord rec = findSnap(snap_name);
+    for (std::uint64_t s = 0; s < sb.numSegments; ++s) {
+        if (rec.pinned[s] && shipped.count(s) == 0) {
+            throw LfsError(Errno::Invalid,
+                           "snapshot " + snap_name +
+                               " is not fully on the backup target");
+        }
+    }
+
+    active = true;
+    dst.beginRestore();
+    const sim::Tick began = eq.now();
+
+    // Write the synthesized checkpoint to both regions so mount picks
+    // it regardless of which one the target's old state favored.
+    const std::vector<std::uint8_t> region = synthesizeCheckpoint(rec);
+    dst.rawFsDevice().writeRange(sb.cp0Block, sb.cpBlocks,
+                                 {region.data(), region.size()});
+    dst.rawFsDevice().writeRange(sb.cp1Block, sb.cpBlocks,
+                                 {region.data(), region.size()});
+
+    const std::uint64_t cp_bytes = region.size();
+    dst.array().write(sb.cp0Block * sb.blockSize, cp_bytes,
+                      [this, cp_bytes, began,
+                       done = std::move(done)]() mutable {
+        dst.array().write(
+            sb.cp1Block * sb.blockSize, cp_bytes,
+            [this, began, done = std::move(done)] {
+                dst.remountFs();
+                const lfs::FsckReport rep = dst.fs().fsck();
+                dst.endRestore();
+                ++_restores;
+                active = false;
+                if (auto *tr = eq.tracer())
+                    tr->complete("backup", "restore", began, eq.now());
+                if (done)
+                    done(rep);
+            });
+    });
+}
+
+BackupEngine::VerifyReport
+BackupEngine::verify(const std::string &snap_name) const
+{
+    VerifyReport vr;
+    const SnapshotView view(src.rawFsDevice(), findSnap(snap_name));
+    lfs::Lfs &tfs = dst.fs();
+
+    // Snapshot -> target: every node exists with identical type, size
+    // and contents.
+    std::vector<std::string> snap_paths;
+    view.walk([&](const std::string &path, const lfs::Stat &st) {
+        snap_paths.push_back(path);
+        if (st.type == lfs::FileType::Directory) {
+            ++vr.directories;
+            if (!tfs.exists(path) ||
+                tfs.stat(path).type != lfs::FileType::Directory) {
+                vr.ok = false;
+                vr.mismatches.push_back("missing directory " + path);
+            }
+            return;
+        }
+        ++vr.files;
+        if (!tfs.exists(path)) {
+            vr.ok = false;
+            vr.mismatches.push_back("missing file " + path);
+            return;
+        }
+        const lfs::Stat tst = tfs.stat(path);
+        if (tst.type != st.type || tst.size != st.size) {
+            vr.ok = false;
+            vr.mismatches.push_back("stat mismatch " + path);
+            return;
+        }
+        std::vector<std::uint8_t> want(st.size), got(st.size);
+        view.read(st.ino, 0, {want.data(), want.size()});
+        tfs.read(tst.ino, 0, {got.data(), got.size()});
+        vr.bytes += st.size;
+        if (want != got) {
+            vr.ok = false;
+            vr.mismatches.push_back("content mismatch " + path);
+        }
+    });
+
+    // Target -> snapshot: no extra nodes appeared.
+    std::set<std::string> in_snap(snap_paths.begin(), snap_paths.end());
+    std::function<void(const std::string &)> sweep =
+        [&](const std::string &path) {
+            if (in_snap.count(path.empty() ? "/" : path) == 0) {
+                vr.ok = false;
+                vr.mismatches.push_back("unexpected node " +
+                                        (path.empty() ? "/" : path));
+            }
+            const std::string dir = path.empty() ? "/" : path;
+            if (tfs.stat(dir).type != lfs::FileType::Directory)
+                return;
+            for (const lfs::DirEntry &e : tfs.readdir(dir))
+                sweep(path + "/" + e.name);
+        };
+    sweep("");
+    return vr;
+}
+
+void
+BackupEngine::registerStats(sim::StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".segments", [this] {
+        return static_cast<double>(_segments);
+    });
+    reg.addGauge(prefix + ".bytes", [this] {
+        return static_cast<double>(_bytes);
+    });
+    reg.addGauge(prefix + ".retries", [this] {
+        return static_cast<double>(_retries);
+    });
+    reg.addGauge(prefix + ".skipped_segments", [this] {
+        return static_cast<double>(_skipped);
+    });
+    reg.addGauge(prefix + ".full", [this] {
+        return static_cast<double>(_full);
+    });
+    reg.addGauge(prefix + ".incremental", [this] {
+        return static_cast<double>(_incremental);
+    });
+    reg.addGauge(prefix + ".restores", [this] {
+        return static_cast<double>(_restores);
+    });
+    reg.addGauge(prefix + ".window", [this] {
+        return static_cast<double>(cfg.windowSegments);
+    });
+    chan.registerStats(reg, prefix + ".hippi");
+}
+
+} // namespace raid2::snap

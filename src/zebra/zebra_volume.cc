@@ -5,6 +5,7 @@
 
 #include "raid/parity.hh"
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace raid2::zebra {
 
@@ -58,6 +59,7 @@ ZebraVolume::emitStripe(std::function<void()> done_one)
         raid::xorInto(parity.data(), src, frag);
     }
     frags[parityServer(stripe)] = std::move(parity);
+    _parityBytes += frag;
     pending.erase(pending.begin(),
                   pending.begin() +
                       static_cast<std::ptrdiff_t>(stripeDataBytes()));
@@ -246,6 +248,7 @@ ZebraVolume::rebuildServer(unsigned s, std::function<void()> done)
     auto step = std::make_shared<std::function<void(std::uint64_t)>>();
     *step = [this, s, frag, done_ptr, step](std::uint64_t stripe) {
         if (stripe >= flushedStripes) {
+            ++_rebuilds;
             if (*done_ptr)
                 (*done_ptr)();
             return;
@@ -279,6 +282,27 @@ ZebraVolume::rebuildServer(unsigned s, std::function<void()> done)
         }
     };
     (*step)(0);
+}
+
+void
+ZebraVolume::registerStats(sim::StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".appended_bytes", [this] {
+        return static_cast<double>(logicalSize);
+    });
+    reg.addGauge(prefix + ".stripes", [this] {
+        return static_cast<double>(_stripesWritten);
+    });
+    reg.addGauge(prefix + ".degraded_reads", [this] {
+        return static_cast<double>(_degradedReads);
+    });
+    reg.addGauge(prefix + ".rebuilds", [this] {
+        return static_cast<double>(_rebuilds);
+    });
+    reg.addGauge(prefix + ".parity_bytes", [this] {
+        return static_cast<double>(_parityBytes);
+    });
 }
 
 } // namespace raid2::zebra

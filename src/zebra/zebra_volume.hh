@@ -102,6 +102,13 @@ class ZebraVolume
     std::uint64_t stripesWritten() const { return _stripesWritten; }
     std::uint64_t bytesAppended() const { return logicalSize; }
     std::uint64_t degradedReads() const { return _degradedReads; }
+    std::uint64_t rebuilds() const { return _rebuilds; }
+    std::uint64_t parityBytesWritten() const { return _parityBytes; }
+
+    /** Register "zebra.*": appended_bytes, stripes, degraded_reads,
+     *  rebuilds, parity_bytes. */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix = "zebra") const;
     /** @} */
 
     /** Which server holds parity for @p stripe. */
@@ -131,6 +138,8 @@ class ZebraVolume
 
     std::uint64_t _stripesWritten = 0;
     std::uint64_t _degradedReads = 0;
+    std::uint64_t _rebuilds = 0;
+    std::uint64_t _parityBytes = 0;
 };
 
 } // namespace raid2::zebra

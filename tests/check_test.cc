@@ -83,6 +83,12 @@ applyToLfs(lfs::Lfs &fs, const Op &o)
       case Op::Kind::Clean:
         fs.clean(static_cast<unsigned>(o.len));
         break;
+      case Op::Kind::SnapCreate:
+        fs.takeSnapshot(o.path);
+        break;
+      case Op::Kind::SnapDelete:
+        fs.deleteSnapshot(o.path);
+        break;
     }
 }
 
@@ -199,6 +205,22 @@ TEST(RefFs, ValidityMirrorsLfsErrors)
     EXPECT_TRUE(m.valid(op(Op::Kind::Rename, "/f", "/f"))); // no-op
 }
 
+TEST(RefFs, SnapshotTableMirrorsLfsLimits)
+{
+    RefFs m;
+    EXPECT_FALSE(m.valid(op(Op::Kind::SnapDelete, "s0"))); // absent
+    EXPECT_FALSE(m.valid(op(Op::Kind::SnapCreate, "")));   // bad name
+    m.apply(op(Op::Kind::SnapCreate, "s0"));
+    EXPECT_FALSE(m.valid(op(Op::Kind::SnapCreate, "s0"))); // duplicate
+    EXPECT_TRUE(m.valid(op(Op::Kind::SnapDelete, "s0")));
+    for (unsigned i = 1; i < 8; ++i)
+        m.apply(op(Op::Kind::SnapCreate, "s" + std::to_string(i)));
+    EXPECT_FALSE(m.valid(op(Op::Kind::SnapCreate, "s8"))); // full
+    m.apply(op(Op::Kind::SnapDelete, "s3"));
+    EXPECT_TRUE(m.valid(op(Op::Kind::SnapCreate, "s8")));
+    EXPECT_EQ(m.snapshots().size(), 7u);
+}
+
 TEST(PatternBytes, DeterministicWithPrefixProperty)
 {
     const auto full = patternBytes(1000, 42);
@@ -234,6 +256,25 @@ TEST(WorkloadGen, EmitsOnlyValidOps)
             m.apply(o);
         }
     }
+}
+
+TEST(WorkloadGen, EmitsSnapshotOpsWithUniqueNames)
+{
+    unsigned creates = 0, deletes = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        std::set<std::string> seen;
+        for (const Op &o : generateWorkload(seed)) {
+            if (o.kind == Op::Kind::SnapCreate) {
+                ++creates;
+                EXPECT_TRUE(seen.insert(o.path).second)
+                    << "seed " << seed << " reused name " << o.path;
+            } else if (o.kind == Op::Kind::SnapDelete) {
+                ++deletes;
+            }
+        }
+    }
+    EXPECT_GT(creates, 0u);
+    EXPECT_GT(deletes, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -290,6 +331,35 @@ TEST_P(CrashSweep, FullEnumerationFindsNoViolations)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweep, ::testing::Range(1, 9));
+
+TEST(CrashSweep, SnapshotTableSurvivesOrIsCleanlyAbsent)
+{
+    // Crash points across snapshot-table updates: each snap op syncs
+    // and checkpoints internally, so cuts and torn writes land
+    // before, inside, and after every table rewrite.  A snapshot must
+    // either survive whole or be cleanly absent — never a torn table.
+    const std::vector<Op> ops = {
+        op(Op::Kind::Create, "/a"),
+        op(Op::Kind::Write, "/a", {}, 0, 3000, 1),
+        op(Op::Kind::SnapCreate, "base"),
+        op(Op::Kind::Write, "/a", {}, 0, 3000, 2),
+        op(Op::Kind::Create, "/b"),
+        op(Op::Kind::Write, "/b", {}, 0, 12 * 1024, 3),
+        op(Op::Kind::SnapCreate, "delta"),
+        op(Op::Kind::Unlink, "/a"),
+        op(Op::Kind::SnapDelete, "base"),
+        op(Op::Kind::Write, "/b", {}, 0, 2000, 4),
+        op(Op::Kind::Checkpoint),
+    };
+    const Capture cap = CrashExplorer::capture(ops, CheckConfig{});
+    const ExploreReport rep = CrashExplorer::explore(cap);
+    EXPECT_EQ(rep.trials, 2 * cap.log.numBlocks() + 1);
+    EXPECT_TRUE(rep.failures.empty());
+    for (const Failure &f : rep.failures) {
+        ADD_FAILURE() << f.spec.str() << ": "
+                      << (f.diffs.empty() ? "" : f.diffs.front());
+    }
+}
 
 TEST(ExtendedSweep, RunsWhenRequestedViaEnv)
 {

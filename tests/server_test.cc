@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/client_model.hh"
 #include "net/ultranet.hh"
 #include "server/file_protocol.hh"
+#include "server/request_scheduler.hh"
 #include "server/raid1_server.hh"
 #include "server/raid2_server.hh"
 #include "sim/event_queue.hh"
@@ -491,6 +494,66 @@ TEST(FileProtocol, SeekAndPositionOnBadHandleDontDie)
     });
     eq.runUntilDone([&] { return finished; });
     EXPECT_TRUE(finished);
+}
+
+TEST(Raid2Server, RestoreRejectsSchedulerTrafficWithBusy)
+{
+    using Sched = server::RequestScheduler;
+    using server::Status;
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig(true));
+    Sched sched(eq, srv);
+
+    const lfs::InodeNum ino = srv.createFile("/f");
+    // > smallOpBytes, so the read classifies FastPath.
+    std::vector<std::uint8_t> data(256 * 1024, 0xab);
+    srv.fs().write(ino, 0, {data.data(), data.size()});
+
+    auto readReq = [&](std::function<void(Status, lfs::InodeNum)> done) {
+        Sched::Request r;
+        r.session = 1;
+        r.kind = Sched::OpKind::Read;
+        r.ino = ino;
+        r.len = data.size();
+        r.done = std::move(done);
+        return r;
+    };
+
+    // Mid-restore: both service classes refuse admission, completing
+    // asynchronously with Busy (never synchronously from submit()).
+    srv.beginRestore();
+    int rejections = 0;
+    sched.submit(readReq([&](Status st, lfs::InodeNum) {
+        EXPECT_EQ(st, Status::Busy);
+        ++rejections;
+    }));
+    Sched::Request open;
+    open.session = 2;
+    open.kind = Sched::OpKind::Open;
+    open.path = "/f";
+    open.done = [&](Status st, lfs::InodeNum) {
+        EXPECT_EQ(st, Status::Busy);
+        ++rejections;
+    };
+    sched.submit(std::move(open));
+    EXPECT_EQ(rejections, 0); // asynchronous rejection
+    eq.runUntilDone([&] { return rejections == 2; });
+    EXPECT_EQ(rejections, 2);
+    EXPECT_EQ(sched.rejected(Sched::ServiceClass::FastPath), 1u);
+    EXPECT_EQ(sched.rejected(Sched::ServiceClass::Standard), 1u);
+    EXPECT_EQ(sched.admitted(Sched::ServiceClass::FastPath), 0u);
+    EXPECT_EQ(sched.admitted(Sched::ServiceClass::Standard), 0u);
+
+    // After endRestore() the same traffic flows normally again.
+    srv.endRestore();
+    bool read_ok = false;
+    sched.submit(readReq([&](Status st, lfs::InodeNum) {
+        EXPECT_EQ(st, Status::Ok);
+        read_ok = true;
+    }));
+    eq.runUntilDone([&] { return read_ok; });
+    EXPECT_TRUE(read_ok);
+    EXPECT_EQ(sched.admitted(Sched::ServiceClass::FastPath), 1u);
 }
 
 } // namespace

@@ -10,10 +10,14 @@
 #include <map>
 #include <sstream>
 
+#include <memory>
+#include <vector>
+
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
 #include "sim/stats.hh"
 #include "sim/stats_registry.hh"
+#include "zebra/zebra_volume.hh"
 
 using namespace raid2;
 
@@ -253,6 +257,50 @@ TEST(StatsRegistry, GaugeReadsLiveValue)
     counter = 31;
     const MiniJson doc = MiniJson::parse(reg.toJson());
     EXPECT_EQ(doc.leaves.at("live"), "31");
+}
+
+TEST(StatsRegistry, ZebraVolumeRegistersItsTree)
+{
+    sim::EventQueue eq;
+    std::vector<std::unique_ptr<server::Raid2Server>> servers;
+    std::vector<server::Raid2Server *> ptrs;
+    for (unsigned i = 0; i < 3; ++i) {
+        server::Raid2Server::Config cfg;
+        cfg.topo.numCougars = 2;
+        cfg.topo.disksPerString = 2;
+        cfg.fsDeviceBytes = 64ull * 1024 * 1024;
+        servers.push_back(std::make_unique<server::Raid2Server>(
+            eq, "zsrv" + std::to_string(i), cfg));
+        ptrs.push_back(servers.back().get());
+    }
+    zebra::ZebraVolume::Config zcfg;
+    zcfg.fragmentBytes = 64 * 1024;
+    zebra::ZebraVolume vol(eq, ptrs, zcfg);
+
+    sim::StatsRegistry reg;
+    vol.registerStats(reg);
+    EXPECT_TRUE(reg.contains("zebra.appended_bytes"));
+    EXPECT_TRUE(reg.contains("zebra.stripes"));
+    EXPECT_TRUE(reg.contains("zebra.degraded_reads"));
+    EXPECT_TRUE(reg.contains("zebra.rebuilds"));
+    EXPECT_TRUE(reg.contains("zebra.parity_bytes"));
+
+    // The gauges read live values: one full stripe shows up in the
+    // snapshot without re-registration.
+    std::vector<std::uint8_t> data(vol.stripeDataBytes(), 0x5a);
+    bool done = false;
+    vol.append({data.data(), data.size()}, [&] { done = true; });
+    eq.runUntilDone([&] { return done; });
+    ASSERT_TRUE(done);
+
+    const MiniJson doc = MiniJson::parse(reg.toJson());
+    EXPECT_EQ(doc.leaves.at("zebra.stripes"), "1");
+    EXPECT_EQ(doc.leaves.at("zebra.parity_bytes"),
+              std::to_string(zcfg.fragmentBytes));
+    EXPECT_EQ(doc.leaves.at("zebra.appended_bytes"),
+              std::to_string(vol.stripeDataBytes()));
+    EXPECT_EQ(doc.leaves.at("zebra.degraded_reads"), "0");
+    EXPECT_EQ(doc.leaves.at("zebra.rebuilds"), "0");
 }
 
 // -----------------------------------------------------------------
