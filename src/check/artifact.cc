@@ -109,6 +109,120 @@ parseOp(const std::string &line)
     return op;
 }
 
+SessionOp
+parseSessionOp(const std::string &line)
+{
+    std::istringstream in(line);
+    std::string kind;
+    in >> kind;
+    SessionOp op;
+    auto need = [&](auto &...field) {
+        (in >> ... >> field);
+        if (in.fail())
+            malformed("bad history line '" + line + "'");
+    };
+    if (kind == "open") {
+        op.kind = SessionOp::Kind::Open;
+        need(op.client, op.path);
+    } else if (kind == "pwrite") {
+        op.kind = SessionOp::Kind::PWrite;
+        need(op.client, op.off, op.len);
+    } else if (kind == "burst_write") {
+        op.kind = SessionOp::Kind::BurstWrite;
+        need(op.client, op.off, op.len);
+    } else if (kind == "pread") {
+        op.kind = SessionOp::Kind::PRead;
+        need(op.client, op.off, op.len);
+    } else if (kind == "seek") {
+        op.kind = SessionOp::Kind::Seek;
+        need(op.client, op.off);
+    } else if (kind == "close") {
+        op.kind = SessionOp::Kind::Close;
+        need(op.client);
+    } else if (kind == "sync") {
+        op.kind = SessionOp::Kind::Sync;
+        need(op.client);
+    } else if (kind == "snap_create") {
+        op.kind = SessionOp::Kind::SnapCreate;
+        need(op.client, op.path);
+    } else if (kind == "snap_delete") {
+        op.kind = SessionOp::Kind::SnapDelete;
+        need(op.client, op.path);
+    } else {
+        malformed("unknown history op '" + kind + "'");
+    }
+    return op;
+}
+
+fault::FaultKind
+faultKindFromName(const std::string &name)
+{
+    using K = fault::FaultKind;
+    for (K k : {K::DiskFail, K::LatentError, K::DiskStall, K::ScsiHang,
+                K::XbusPortError, K::HippiLinkDrop}) {
+        if (name == fault::faultKindName(k))
+            return k;
+    }
+    malformed("unknown fault kind '" + name + "'");
+}
+
+CheckConfig
+parseConfigLine(std::istringstream &in)
+{
+    CheckConfig cfg;
+    std::istringstream ln(nextLine(in, "config"));
+    std::string tag;
+    unsigned autoclean = 0;
+    ln >> tag >> cfg.blockSize >> cfg.numBlocks >> cfg.segBlocks >>
+        cfg.maxInodes >> autoclean;
+    if (ln.fail() || tag != "config")
+        malformed("bad config line");
+    cfg.autoClean = autoclean != 0;
+    return cfg;
+}
+
+std::size_t
+parseCountLine(std::istringstream &in, const char *what)
+{
+    std::istringstream ln(nextLine(in, what));
+    std::string tag;
+    std::size_t n = 0;
+    ln >> tag >> n;
+    if (ln.fail() || tag != what)
+        malformed(std::string("bad ") + what + " line");
+    return n;
+}
+
+TrialSpec
+parseTrialLine(std::istringstream &in)
+{
+    TrialSpec trial;
+    std::istringstream ln(nextLine(in, "trial"));
+    std::string tag, mode;
+    unsigned mask = 0;
+    ln >> tag >> mode >> trial.cut >> trial.target >> mask >>
+        trial.forceBarrier;
+    if (ln.fail() || tag != "trial")
+        malformed("bad trial line");
+    trial.mode = modeFromName(mode);
+    trial.xorMask = static_cast<std::uint8_t>(mask);
+    return trial;
+}
+
+void
+serializeTail(std::ostringstream &out, const CheckConfig &,
+              const TrialSpec &trial,
+              const std::vector<std::string> &diffs)
+{
+    out << "trial " << modeName(trial.mode) << " " << trial.cut << " "
+        << trial.target << " " << unsigned(trial.xorMask) << " "
+        << trial.forceBarrier << "\n";
+    out << "diffs " << diffs.size() << "\n";
+    for (const std::string &d : diffs)
+        out << d << "\n";
+    out << "end\n";
+}
+
 } // namespace
 
 std::string
@@ -187,6 +301,92 @@ Artifact::parse(const std::string &text)
         for (std::size_t i = 0; i < n; ++i)
             art.diffs.push_back(nextLine(in, "diff"));
     }
+
+    if (nextLine(in, "end") != "end")
+        malformed("missing end marker");
+    return art;
+}
+
+// ---------------------------------------------------------------------
+// Format v2: whole-server histories
+// ---------------------------------------------------------------------
+
+bool
+isServerArtifact(const std::string &text)
+{
+    const std::string header = "raid2-check v2";
+    return text.compare(0, header.size(), header) == 0 &&
+           (text.size() == header.size() ||
+            text[header.size()] == '\n' ||
+            text[header.size()] == '\r');
+}
+
+std::string
+ServerArtifact::serialize() const
+{
+    std::ostringstream out;
+    out << "raid2-check v2\n";
+    out << "config " << cfg.blockSize << " " << cfg.numBlocks << " "
+        << cfg.segBlocks << " " << cfg.maxInodes << " "
+        << (cfg.autoClean ? 1 : 0) << "\n";
+    out << "clients " << hist.clients << "\n";
+    out << "history " << hist.ops.size() << "\n";
+    for (const SessionOp &op : hist.ops)
+        out << op.str() << "\n";
+    out << "faults " << hist.faults.events.size() << "\n";
+    for (const fault::FaultEvent &e : hist.faults.events) {
+        out << e.at << " " << fault::faultKindName(e.kind) << " "
+            << e.target << " " << e.offset << " " << e.bytes << " "
+            << e.duration << "\n";
+    }
+    serializeTail(out, cfg, trial, diffs);
+    return out.str();
+}
+
+ServerArtifact
+ServerArtifact::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    ServerArtifact art;
+
+    if (nextLine(in, "header") != "raid2-check v2")
+        malformed("bad header (want 'raid2-check v2')");
+
+    art.cfg = parseConfigLine(in);
+
+    {
+        std::istringstream ln(nextLine(in, "clients"));
+        std::string tag;
+        ln >> tag >> art.hist.clients;
+        if (ln.fail() || tag != "clients")
+            malformed("bad clients line");
+    }
+
+    const std::size_t nops = parseCountLine(in, "history");
+    art.hist.ops.reserve(nops);
+    for (std::size_t i = 0; i < nops; ++i)
+        art.hist.ops.push_back(
+            parseSessionOp(nextLine(in, "history op")));
+
+    const std::size_t nfaults = parseCountLine(in, "faults");
+    for (std::size_t i = 0; i < nfaults; ++i) {
+        std::istringstream ln(nextLine(in, "fault"));
+        fault::FaultEvent e;
+        std::string kind;
+        ln >> e.at >> kind >> e.target >> e.offset >> e.bytes >>
+            e.duration;
+        if (ln.fail())
+            malformed("bad fault line");
+        e.kind = faultKindFromName(kind);
+        art.hist.faults.events.push_back(e);
+    }
+
+    art.trial = parseTrialLine(in);
+
+    const std::size_t ndiffs = parseCountLine(in, "diffs");
+    art.diffs.reserve(ndiffs);
+    for (std::size_t i = 0; i < ndiffs; ++i)
+        art.diffs.push_back(nextLine(in, "diff"));
 
     if (nextLine(in, "end") != "end")
         malformed("missing end marker");

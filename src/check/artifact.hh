@@ -16,6 +16,26 @@
  *     diffs <M>
  *     <one diff line per entry>
  *     end
+ *
+ * Version 2 carries a whole-server counterexample instead of a bare
+ * op list: the concurrent multi-session history plus its fault
+ * schedule (ServerExplorer replays are pure functions of those plus
+ * the config), with the same trial/diffs tail:
+ *
+ *     raid2-check v2
+ *     config <blockSize> <numBlocks> <segBlocks> <maxInodes> <autoClean>
+ *     clients <C>
+ *     history <N>
+ *     <one SessionOp::str() line per op>
+ *     faults <K>
+ *     <at> <kind> <target> <offset> <bytes> <duration>   (one per event)
+ *     trial <mode> <cut> <target> <xorMask> <forceBarrier>
+ *     diffs <M>
+ *     <one diff line per entry>
+ *     end
+ *
+ * v1 artifacts keep replaying unchanged; consumers dispatch on the
+ * header line (see isServerArtifact()).
  */
 
 #ifndef RAID2_CHECK_ARTIFACT_HH
@@ -25,6 +45,7 @@
 #include <vector>
 
 #include "check/crash_explorer.hh"
+#include "check/server_history.hh"
 
 namespace raid2::check {
 
@@ -41,6 +62,24 @@ struct Artifact
     /** Parse @p text; throws std::runtime_error on malformed input. */
     static Artifact parse(const std::string &text);
 };
+
+/** A self-contained failing server-level trial (format v2). */
+struct ServerArtifact
+{
+    CheckConfig cfg;
+    ServerHistory hist;
+    TrialSpec trial;
+    std::vector<std::string> diffs; // expected verdict
+
+    std::string serialize() const;
+
+    /** Parse @p text; throws std::runtime_error on malformed input
+     *  (including a v1 header — check isServerArtifact() first). */
+    static ServerArtifact parse(const std::string &text);
+};
+
+/** True if @p text leads with the v2 header (a server artifact). */
+bool isServerArtifact(const std::string &text);
 
 } // namespace raid2::check
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/server_explorer.hh"
 #include "sim/logging.hh"
 
 namespace raid2::check {
@@ -81,6 +82,89 @@ Shrinker::shrink(const std::vector<Op> &ops, const Predicate &pred)
             cand[i].len /= 2;
             if (auto w = check(cand)) {
                 res.ops = std::move(cand);
+                res.witness = *w;
+            } else {
+                break;
+            }
+        }
+    }
+
+    return res;
+}
+
+Shrinker::ServerResult
+Shrinker::shrinkHistory(const ServerHistory &hist,
+                        const ServerPredicate &pred)
+{
+    ServerResult res;
+    res.hist = ServerExplorer::sanitize(hist);
+
+    auto check = [&](const ServerHistory &cand)
+        -> std::optional<Failure> {
+        ++res.attempts;
+        return pred(cand);
+    };
+
+    auto witness = check(res.hist);
+    if (!witness)
+        sim::panic("Shrinker::shrinkHistory: seed history does not "
+                   "fail");
+    res.witness = *witness;
+
+    auto withOps = [&](std::vector<SessionOp> ops) {
+        ServerHistory h;
+        h.clients = res.hist.clients;
+        h.faults = res.hist.faults;
+        h.ops = std::move(ops);
+        return ServerExplorer::sanitize(h);
+    };
+
+    // Pass 1: ddmin chunk removal over the interleaved history.
+    for (std::size_t chunk =
+             std::max<std::size_t>(res.hist.ops.size() / 2, 1);
+         ;) {
+        bool removed = false;
+        for (std::size_t at = 0; at < res.hist.ops.size();) {
+            const auto &cur = res.hist.ops;
+            std::vector<SessionOp> ops;
+            ops.reserve(cur.size());
+            ops.insert(ops.end(), cur.begin(),
+                       cur.begin() + static_cast<std::ptrdiff_t>(at));
+            ops.insert(ops.end(),
+                       cur.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(at + chunk,
+                                                  cur.size())),
+                       cur.end());
+            ServerHistory cand = withOps(std::move(ops));
+            if (cand.ops.size() < res.hist.ops.size()) {
+                if (auto w = check(cand)) {
+                    res.hist = std::move(cand);
+                    res.witness = *w;
+                    removed = true;
+                    continue; // same position, next chunk slid in
+                }
+            }
+            at += chunk;
+        }
+        if (chunk == 1 && !removed)
+            break;
+        if (chunk > 1)
+            chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+
+    // Pass 2: halve write lengths (the synthesized payload byte at a
+    // position depends only on (position, inode), so a shorter write
+    // keeps its surviving prefix identical).
+    for (std::size_t i = 0; i < res.hist.ops.size(); ++i) {
+        const auto k = res.hist.ops[i].kind;
+        if (k != SessionOp::Kind::PWrite &&
+            k != SessionOp::Kind::BurstWrite)
+            continue;
+        while (res.hist.ops[i].len > 1) {
+            ServerHistory cand = res.hist;
+            cand.ops[i].len /= 2;
+            if (auto w = check(cand)) {
+                res.hist = std::move(cand);
                 res.witness = *w;
             } else {
                 break;

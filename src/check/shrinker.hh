@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/crash_explorer.hh"
+#include "check/server_history.hh"
 
 namespace raid2::check {
 
@@ -39,6 +40,18 @@ class Shrinker
         std::size_t attempts = 0; // predicate invocations
     };
 
+    /** Server-history variant: candidates carry the whole history
+     *  (ops swapped; clients and fault schedule preserved). */
+    using ServerPredicate = std::function<std::optional<Failure>(
+        const ServerHistory &)>;
+
+    struct ServerResult
+    {
+        ServerHistory hist; // minimized history
+        Failure witness;
+        std::size_t attempts = 0;
+    };
+
     /** Drop every op a sequential RefFs replay rejects (cascading:
      *  a drop can invalidate later ops, which are dropped too). */
     static std::vector<Op> sanitize(const std::vector<Op> &ops);
@@ -48,6 +61,14 @@ class Shrinker
      *  otherwise). */
     static Result shrink(const std::vector<Op> &ops,
                          const Predicate &pred);
+
+    /** Minimize a concurrent server history: ddmin chunk removal over
+     *  the interleaved op list (candidates pass through
+     *  ServerExplorer::sanitize, which cascade-drops handle-less and
+     *  invalid snapshot ops) followed by write-length halving.  The
+     *  seed history must already fail. */
+    static ServerResult shrinkHistory(const ServerHistory &hist,
+                                      const ServerPredicate &pred);
 };
 
 } // namespace raid2::check

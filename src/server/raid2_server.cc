@@ -82,6 +82,15 @@ Raid2Server::fsDevice()
     return *hookDev;
 }
 
+fs::HookBlockDevice &
+Raid2Server::fsHookDevice()
+{
+    if (!hookDev)
+        sim::fatal("Raid2Server %s: configured without a file system",
+                   _name.c_str());
+    return *hookDev;
+}
+
 fs::MemBlockDevice &
 Raid2Server::rawFsDevice()
 {
@@ -303,6 +312,8 @@ Raid2Server::registerStats(sim::StatsRegistry &reg) const
 lfs::InodeNum
 Raid2Server::createFile(const std::string &path)
 {
+    if (_fsOpObserver)
+        _fsOpObserver({FsOp::Kind::Create, path, 0, 0, 0});
     const lfs::InodeNum ino = fs().create(path);
     return ino;
 }
@@ -336,6 +347,9 @@ Raid2Server::fileWriteData(lfs::InodeNum ino, std::uint64_t off,
         // Functional write: real bytes into the log; the host's
         // cached copy (if any) is now stale (§3.2: "The file system
         // keeps the two caches consistent").
+        if (_fsOpObserver)
+            _fsOpObserver({FsOp::Kind::Write, {}, ino, off,
+                           copy->size()});
         _hostCache.invalidate(ino);
         fs().write(ino, off, {copy->data(), copy->size()});
 
@@ -388,6 +402,8 @@ void
 Raid2Server::fsSync(std::function<void()> done)
 {
     fsCpu->submitBusyTime(0, [this, done = std::move(done)]() mutable {
+        if (_fsOpObserver)
+            _fsOpObserver({FsOp::Kind::Sync, {}, 0, 0, 0});
         fs().sync();
         drainPendingWrites(std::move(done));
     });

@@ -186,6 +186,9 @@ class Raid2Server
     /** The functional LFS device (reads return exactly the log bytes
      *  the file system wrote; writes mirror into the timed plane). */
     fs::BlockDevice &fsDevice();
+    /** Same device, typed: for attaching a fs::WriteLog capture
+     *  (model checking) next to the write-mirroring hook. */
+    fs::HookBlockDevice &fsHookDevice();
     /** The raw in-memory twin, bypassing the write-mirroring hook —
      *  for restore writes whose array timing the BackupEngine models
      *  itself. */
@@ -200,6 +203,31 @@ class Raid2Server
     void endRestore();
     bool restoreActive() const { return _restoreActive; }
     /** @} */
+
+    // -----------------------------------------------------------------
+    // Functional-plane mutation observer (model checking).
+    // -----------------------------------------------------------------
+
+    /** One LFS mutation the server is about to apply.  Observed in
+     *  apply order: the fsCpu service serializes every mutating path,
+     *  so the observer sees exactly the sequence the log sees. */
+    struct FsOp
+    {
+        enum class Kind { Create, Write, Sync };
+        Kind kind{};
+        std::string path;      ///< Create only.
+        lfs::InodeNum ino = 0; ///< Write only.
+        std::uint64_t off = 0; ///< Write only.
+        std::uint64_t len = 0; ///< Write only.
+    };
+    using FsOpObserver = std::function<void(const FsOp &)>;
+    /** Fired synchronously immediately *before* each functional LFS
+     *  mutation (create / write / sync).  Null by default: a
+     *  production server pays one branch per op. */
+    void setFsOpObserver(FsOpObserver obs)
+    {
+        _fsOpObserver = std::move(obs);
+    }
 
     /** @{ Statistics. */
     std::uint64_t segmentFlushes() const { return _segmentFlushes; }
@@ -255,6 +283,8 @@ class Raid2Server
     std::uint64_t _flushedBytes = 0;
     std::uint64_t _restores = 0;
     bool _restoreActive = false;
+
+    FsOpObserver _fsOpObserver;
 };
 
 } // namespace raid2::server

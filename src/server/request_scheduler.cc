@@ -286,7 +286,9 @@ RequestScheduler::flushBatch()
             if (srv.fs().exists(b.req.path)) {
                 ino = srv.fs().lookup(b.req.path);
             } else if (b.req.create) {
-                ino = srv.fs().create(b.req.path);
+                // Through the server so its FsOp observer sees the
+                // mutation (model checking).
+                ino = srv.createFile(b.req.path);
             } else {
                 st = Status::NotFound;
             }

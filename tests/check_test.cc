@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/artifact.hh"
+#include "check/server_explorer.hh"
 #include "check/shrinker.hh"
 #include "check/workload_gen.hh"
 #include "fs/mem_block_device.hh"
@@ -400,6 +401,32 @@ TEST(OracleSelfTest, FlagsDroppedAcknowledgedSummaryWrite)
         << "acked-write drops went unnoticed by the oracle";
     for (const Failure &f : rep.failures)
         EXPECT_EQ(f.spec.mode, TrialSpec::Mode::Dropped);
+}
+
+// Mutation self-test for the whole-server checker: run ServerExplorer
+// with a deliberately illegal device (acknowledged writes dropped) and
+// require the oracle to flag a violation within a handful of seeds.
+// If this goes green-to-red-free, the server checker has lost its
+// teeth.
+TEST(OracleSelfTest, ServerCheckerFlagsDroppedAckedWrites)
+{
+    ServerGenConfig gcfg;
+    gcfg.withFaults = false; // the oracle alone must catch it
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 4 && !caught; ++seed) {
+        ServerExplorer::Options opt;
+        opt.stopAtFirst = true;
+        opt.legalTrials = false;
+        opt.dropAckedWrites = true;
+        const ExploreReport rep = ServerExplorer::explore(
+            generateServerHistory(seed, gcfg), opt);
+        for (const Failure &f : rep.failures)
+            EXPECT_EQ(f.spec.mode, TrialSpec::Mode::Dropped);
+        caught = !rep.failures.empty();
+    }
+    EXPECT_TRUE(caught)
+        << "server-level acked-write drops went unnoticed within 4 "
+           "seeds";
 }
 
 TEST(OracleSelfTest, FlagsCorruptedCheckpointedBlocks)

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "net/client_model.hh"
+#include "net/ultranet.hh"
+#include "server/file_protocol.hh"
 #include "server/raid2_server.hh"
 #include "server/request_scheduler.hh"
 #include "sim/event_queue.hh"
@@ -111,6 +116,107 @@ TEST(ClientFleet, BackpressureRetriesConvergeWithoutDrops)
     EXPECT_GT(sched.rejected(Cls::FastPath) +
                   sched.rejected(Cls::Standard),
               0u);
+}
+
+// Exactly-once effect: a Busy/Throttled completion means the op was
+// never admitted, so the server applied nothing — the retry is the
+// first and only application.  Run an all-write fleet against tiny
+// admission queues (guaranteeing rejections on both classes) and
+// count actual file-system write applications through the server's
+// FsOp observer: one per completed op, despite all the retries.
+TEST(ClientFleet, RetriedWritesApplyExactlyOnce)
+{
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig());
+    RequestScheduler::Config scfg;
+    scfg.fastQueueCap = 2;
+    scfg.stdQueueCap = 2;
+    scfg.sessionQueueCap = 1;
+    scfg.fastInFlight = 1;
+    scfg.stdInFlight = 1;
+    RequestScheduler sched(eq, srv, scfg);
+
+    // The fleet pre-populates its files through fs() directly; the
+    // observer sees only the ops the sessions issue.
+    std::uint64_t applied = 0;
+    srv.setFsOpObserver([&](const Raid2Server::FsOp &op) {
+        if (op.kind == Raid2Server::FsOp::Kind::Write)
+            ++applied;
+    });
+
+    auto fc = testFleet(12, 4);
+    fc.readFraction = 0.0; // every op is a write
+    fc.startStagger = 0;   // all sessions slam the queues at once
+    const auto res = ClientFleet::run(eq, srv, sched, fc);
+
+    EXPECT_EQ(res.ops, 12u * 4);
+    EXPECT_EQ(res.dropped, 0u);
+    EXPECT_GT(res.retries, 0u); // rejections really happened
+    EXPECT_GT(res.fast.rejects + res.standard.rejects, 0u);
+    EXPECT_EQ(applied, res.ops)
+        << "a rejected-then-retried write was applied more than once "
+           "(or a completed write never reached the file system)";
+}
+
+// raidClose while a positional op is still in flight: the close must
+// return a clean status and the op's completion must still fire with
+// its full result — positional ops never touch the handle cursor, so
+// tearing down the handle cannot corrupt or lose them.
+TEST(ClientFleet, CloseDuringInFlightPositionalOpKeepsCompletion)
+{
+    using server::RaidFileClient;
+    sim::EventQueue eq;
+    Raid2Server srv(eq, "s", smallConfig());
+    net::UltranetFabric ring(eq, "ring");
+    net::ClientModel nic(eq, "c0");
+    RaidFileClient lib(eq, srv, nic, ring,
+                       RaidFileClient::Config{});
+
+    RaidFileClient::Handle h = RaidFileClient::invalidHandle;
+    lib.raidOpen("/f", true, [&](const RaidFileClient::Result &r) {
+        ASSERT_TRUE(r.ok());
+        h = r.handle;
+    });
+    eq.runUntilDone([&] { return h != RaidFileClient::invalidHandle; });
+
+    // Seed some bytes so the in-flight pread has data to return.
+    bool seeded = false;
+    lib.raidPWrite(h, 0, 64 * 1024,
+                   [&](const RaidFileClient::Result &r) {
+                       ASSERT_TRUE(r.ok());
+                       seeded = true;
+                   });
+    eq.runUntilDone([&] { return seeded; });
+
+    std::optional<RaidFileClient::Result> wr, rr;
+    lib.raidPWrite(h, 16 * 1024, 32 * 1024,
+                   [&](const RaidFileClient::Result &r) { wr = r; });
+    lib.raidPRead(h, 0, 8 * 1024,
+                  [&](const RaidFileClient::Result &r) { rr = r; });
+
+    // Close while both are in flight: clean status, not an error or
+    // a crash, and the handle is gone immediately.
+    EXPECT_EQ(lib.raidClose(h), RaidFileClient::Status::Ok);
+    EXPECT_FALSE(lib.position(h).has_value());
+
+    eq.runUntilDone([&] { return wr && rr; });
+    ASSERT_TRUE(wr && rr) << "a completion was lost by the close";
+    EXPECT_EQ(wr->status, RaidFileClient::Status::Ok);
+    EXPECT_EQ(wr->bytes, 32u * 1024);
+    EXPECT_EQ(rr->status, RaidFileClient::Status::Ok);
+    EXPECT_EQ(rr->bytes, 8u * 1024);
+
+    // The handle stays closed: later ops fail cleanly.
+    EXPECT_EQ(lib.raidClose(h), RaidFileClient::Status::BadHandle);
+    bool badSeen = false;
+    lib.raidPWrite(h, 0, 1024,
+                   [&](const RaidFileClient::Result &r) {
+                       EXPECT_EQ(r.status,
+                                 RaidFileClient::Status::BadHandle);
+                       badSeen = true;
+                   });
+    eq.runUntilDone([&] { return badSeen; });
+    EXPECT_TRUE(badSeen);
 }
 
 TEST(ClientFleet, RunIsBitReproducible)

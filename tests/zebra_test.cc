@@ -211,6 +211,86 @@ TEST(ZebraVolume, WritesWhileDegradedThenRebuild)
     EXPECT_TRUE(rig.servers[2]->fs().fsck().ok);
 }
 
+// Seeded kill-one-server campaigns against a healthy shadow volume:
+// the same append stream goes to a victim rig (which loses a random
+// server mid-stream, keeps appending degraded, then rebuilds) and to
+// an untouched shadow rig.  Degraded reads must match the shadow, and
+// after rebuild every server's fragment file must be byte-identical
+// to the shadow's — reconstruction by parity is exact, not just
+// read-equivalent.
+TEST(ZebraProperty, KillOneServerCampaignsMatchHealthyShadow)
+{
+    constexpr unsigned nservers = 4;
+    constexpr std::uint64_t fragment = 32 * 1024;
+
+    auto fragBytes = [](server::Raid2Server &srv) {
+        auto &fs = srv.fs();
+        const auto st = fs.stat("/zebra-frag");
+        std::vector<std::uint8_t> out(st.size);
+        if (st.size > 0)
+            fs.read(st.ino, 0, {out.data(), out.size()});
+        return out;
+    };
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        ZebraRig rig(nservers, fragment);
+        ZebraRig shadow(nservers, fragment);
+        sim::Random rng(seed);
+
+        const unsigned victim =
+            static_cast<unsigned>(rng.below(nservers));
+        const unsigned failAfter =
+            1 + static_cast<unsigned>(rng.below(4));
+        const unsigned numAppends = failAfter + 3;
+
+        std::vector<std::uint8_t> ref;
+        for (unsigned i = 0; i < numAppends; ++i) {
+            if (i == failAfter)
+                rig.volume->failServer(victim);
+            const auto piece = pattern(
+                20000 + rng.below(120000), seed * 100 + i);
+            ref.insert(ref.end(), piece.begin(), piece.end());
+            rig.append({piece.data(), piece.size()});
+            shadow.append({piece.data(), piece.size()});
+        }
+
+        // Degraded reads agree with the shadow at random offsets.
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t off = rng.below(ref.size());
+            const std::uint64_t len =
+                1 + rng.below(ref.size() - off);
+            EXPECT_EQ(rig.read(off, len), shadow.read(off, len))
+                << "seed " << seed << " victim " << victim
+                << " range [" << off << ", " << off + len << ")";
+        }
+        EXPECT_GT(rig.volume->degradedReads(), 0u) << "seed " << seed;
+
+        // Flush both tails so the fragment files are comparable, then
+        // rebuild the victim from the survivors.
+        bool f1 = false, f2 = false;
+        rig.volume->flush([&] { f1 = true; });
+        rig.eq.runUntilDone([&] { return f1; });
+        shadow.volume->flush([&] { f2 = true; });
+        shadow.eq.runUntilDone([&] { return f2; });
+
+        rig.volume->restoreServer(victim);
+        bool rebuilt = false;
+        rig.volume->rebuildServer(victim, [&] { rebuilt = true; });
+        rig.eq.runUntilDone([&] { return rebuilt; });
+        ASSERT_TRUE(rebuilt) << "seed " << seed;
+
+        for (unsigned s = 0; s < nservers; ++s) {
+            EXPECT_EQ(fragBytes(*rig.servers[s]),
+                      fragBytes(*shadow.servers[s]))
+                << "seed " << seed << " victim " << victim
+                << " fragment file on server " << s;
+            EXPECT_TRUE(rig.servers[s]->fs().fsck().ok)
+                << "seed " << seed << " server " << s;
+        }
+        EXPECT_EQ(rig.read(0, ref.size()), ref) << "seed " << seed;
+    }
+}
+
 TEST(ZebraVolume, AggregateBandwidthScalesWithServers)
 {
     auto run = [](unsigned nservers) {

@@ -4,41 +4,89 @@
  *
  *   check_replay <artifact>          replay a shrunk failing trial and
  *                                    verify it reproduces byte-for-byte
+ *                                    (dispatches on the header line:
+ *                                    v1 = bare-Lfs op list, v2 = whole-
+ *                                    server concurrent history)
  *   check_replay --demo [out]        inject a deliberate durability
  *                                    violation (drop an acknowledged
  *                                    segment-summary write), shrink it,
  *                                    write the artifact, replay it
  *   check_replay --sweep <seed> [n]  full crash-point enumeration for
  *                                    one workload seed (n ops)
+ *   check_replay --server --demo [out]
+ *   check_replay --server --sweep <seed> [n]
+ *                                    same, against a full Raid2Server
+ *                                    with concurrent clients and fault
+ *                                    injection ("raid2-check v2")
  *
- * Exit status is 0 only when the artifact reproduces exactly (or the
- * sweep finds no violations).  See docs/TESTING.md.
+ * Append --stats to any command to dump the check.server.* coverage
+ * counters (op mix, crash points, fault firings, retry coverage) after
+ * the run.  See docs/TESTING.md.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "check/artifact.hh"
+#include "check/server_explorer.hh"
 #include "check/shrinker.hh"
 #include "check/workload_gen.hh"
+#include "sim/stats_registry.hh"
 
 using namespace raid2;
 using namespace raid2::check;
 
 namespace {
 
+bool statsWanted = false;
+
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: check_replay <artifact>\n"
-                 "       check_replay --demo [out-file]\n"
-                 "       check_replay --sweep <seed> [num-ops]\n");
+    std::fprintf(
+        stderr,
+        "usage: check_replay <artifact> [--stats]\n"
+        "       check_replay --demo [out-file]\n"
+        "       check_replay --sweep <seed> [num-ops]\n"
+        "       check_replay --server --demo [out-file]\n"
+        "       check_replay --server --sweep <seed> [num-ops]\n"
+        "\n"
+        "replays a 'raid2-check v1' (bare Lfs op list) or\n"
+        "'raid2-check v2' (concurrent Raid2Server history + fault\n"
+        "schedule) artifact; the version is read from the header line.\n"
+        "--stats dumps the check.server.* coverage counters after any\n"
+        "command.\n"
+        "\n"
+        "exit status:\n"
+        "  0  sweep found no violations, or the artifact reproduced\n"
+        "     byte-for-byte\n"
+        "  1  sweep found a violation, or the replayed verdict\n"
+        "     mismatched the artifact's recorded diffs\n"
+        "  2  harness error (bad usage, unreadable or malformed\n"
+        "     artifact, internal failure)\n");
     return 2;
+}
+
+void
+dumpServerStats()
+{
+    sim::StatsRegistry reg;
+    ServerExplorer::registerStats(reg);
+    reg.dump(std::cout);
+}
+
+int
+finish(int code)
+{
+    if (statsWanted)
+        dumpServerStats();
+    return code;
 }
 
 /** Targeted illegal-device search: for each barrier (newest first),
@@ -64,6 +112,28 @@ findAckedDropFailure(const Capture &cap)
     return std::nullopt;
 }
 
+/** Replay a trial against @p cap and compare with recorded diffs. */
+int
+replayTrial(const Capture &cap, const TrialSpec &trial,
+            const std::vector<std::string> &expected)
+{
+    const TrialResult r = CrashExplorer::runTrial(cap, trial);
+
+    std::printf("replayed verdict (%zu diffs):\n", r.diffs.size());
+    for (const auto &d : r.diffs)
+        std::printf("  %s\n", d.c_str());
+
+    if (r.diffs == expected) {
+        std::printf("reproduced byte-for-byte: OK\n");
+        return 0;
+    }
+    std::printf("MISMATCH vs artifact (expected %zu diffs):\n",
+                expected.size());
+    for (const auto &d : expected)
+        std::printf("  %s\n", d.c_str());
+    return 1;
+}
+
 int
 replayFile(const std::string &path)
 {
@@ -76,26 +146,24 @@ replayFile(const std::string &path)
     std::stringstream buf;
     buf << in.rdbuf();
 
+    if (isServerArtifact(buf.str())) {
+        const ServerArtifact art = ServerArtifact::parse(buf.str());
+        std::printf("server artifact: %u clients, %zu history ops, "
+                    "%zu faults, trial %s\n",
+                    art.hist.clients, art.hist.ops.size(),
+                    art.hist.faults.events.size(),
+                    art.trial.str().c_str());
+        ServerExplorer::Options opt;
+        opt.cfg = art.cfg;
+        return replayTrial(ServerExplorer::capture(art.hist, opt),
+                           art.trial, art.diffs);
+    }
+
     const Artifact art = Artifact::parse(buf.str());
     std::printf("artifact: %zu ops, trial %s\n", art.ops.size(),
                 art.trial.str().c_str());
-
-    const Capture cap = CrashExplorer::capture(art.ops, art.cfg);
-    const TrialResult r = CrashExplorer::runTrial(cap, art.trial);
-
-    std::printf("replayed verdict (%zu diffs):\n", r.diffs.size());
-    for (const auto &d : r.diffs)
-        std::printf("  %s\n", d.c_str());
-
-    if (r.diffs == art.diffs) {
-        std::printf("reproduced byte-for-byte: OK\n");
-        return 0;
-    }
-    std::printf("MISMATCH vs artifact (expected %zu diffs):\n",
-                art.diffs.size());
-    for (const auto &d : art.diffs)
-        std::printf("  %s\n", d.c_str());
-    return 1;
+    return replayTrial(CrashExplorer::capture(art.ops, art.cfg),
+                       art.trial, art.diffs);
 }
 
 int
@@ -198,31 +266,166 @@ sweep(std::uint64_t seed, unsigned num_ops)
     return 1;
 }
 
+// ---------------------------------------------------------------------
+// Server-level ("raid2-check v2") commands
+// ---------------------------------------------------------------------
+
+int
+serverDemo(const std::string &out_path)
+{
+    // A history with faults disabled: the injected acked-drop must be
+    // flagged by the durability oracle alone, not masked by scripted
+    // device trouble.
+    ServerGenConfig gcfg;
+    gcfg.withFaults = false;
+    const ServerHistory hist = generateServerHistory(7, gcfg);
+    ServerExplorer::Options opt;
+
+    auto pred =
+        [&](const ServerHistory &cand) -> std::optional<Failure> {
+        return findAckedDropFailure(ServerExplorer::capture(cand, opt));
+    };
+
+    if (!pred(hist)) {
+        std::fprintf(stderr,
+                     "server demo: injected drop not flagged — oracle "
+                     "or history regression\n");
+        return 1;
+    }
+
+    std::printf("injected violation: dropping an acknowledged "
+                "segment-summary write under a concurrent history\n");
+    const Shrinker::ServerResult res =
+        Shrinker::shrinkHistory(hist, pred);
+    std::printf("shrunk %zu ops -> %zu ops in %zu attempts\n",
+                hist.ops.size(), res.hist.ops.size(), res.attempts);
+
+    ServerArtifact art;
+    art.cfg = opt.cfg;
+    art.hist = res.hist;
+    art.trial = res.witness.spec;
+    art.diffs = res.witness.diffs;
+
+    {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "check_replay: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << art.serialize();
+    }
+    std::printf("artifact written to %s\n", out_path.c_str());
+
+    return replayFile(out_path);
+}
+
+int
+serverSweep(std::uint64_t seed, unsigned num_ops)
+{
+    ServerGenConfig gcfg;
+    if (num_ops > 0)
+        gcfg.numOps = num_ops;
+    const ServerHistory hist = generateServerHistory(seed, gcfg);
+    ServerExplorer::Options opt;
+    const Capture cap = ServerExplorer::capture(hist, opt);
+    std::printf("seed %llu: %u clients, %zu history ops -> %zu applied "
+                "ops, %zu blocks written, %zu barriers, %zu faults\n",
+                static_cast<unsigned long long>(seed), hist.clients,
+                hist.ops.size(), cap.ops.size(), cap.log.numBlocks(),
+                cap.log.barriers().size(),
+                hist.faults.events.size());
+
+    const ExploreReport rep = ServerExplorer::explore(hist, opt);
+    std::printf("%zu trials, %zu violations\n", rep.trials,
+                rep.failures.size());
+    if (rep.failures.empty())
+        return 0;
+
+    const Failure &f = rep.failures.front();
+    std::printf("first failure: %s\n", f.spec.str().c_str());
+    for (const auto &d : f.diffs)
+        std::printf("  %s\n", d.c_str());
+
+    auto pred =
+        [&](const ServerHistory &cand) -> std::optional<Failure> {
+        ServerExplorer::Options sopt = opt;
+        sopt.stopAtFirst = true;
+        ExploreReport r = ServerExplorer::explore(cand, sopt);
+        if (r.failures.empty())
+            return std::nullopt;
+        return r.failures.front();
+    };
+    const Shrinker::ServerResult res =
+        Shrinker::shrinkHistory(hist, pred);
+
+    ServerArtifact art;
+    art.cfg = opt.cfg;
+    art.hist = res.hist;
+    art.trial = res.witness.spec;
+    art.diffs = res.witness.diffs;
+    const std::string out_path =
+        "servercheck-seed" + std::to_string(seed) + ".artifact";
+    std::ofstream(out_path) << art.serialize();
+    std::printf("shrunk to %zu ops; artifact: %s\n",
+                res.hist.ops.size(), out_path.c_str());
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (auto it = args.begin(); it != args.end();) {
+        if (*it == "--stats") {
+            statsWanted = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (args.empty())
+        return statsWanted ? finish(0) : usage();
 
-    const std::string cmd = argv[1];
+    std::string cmd = args[0];
+    bool server = false;
+    if (cmd == "--server") {
+        server = true;
+        args.erase(args.begin());
+        if (args.empty())
+            return usage();
+        cmd = args[0];
+    }
+
     try {
+        if (cmd == "--help" || cmd == "-h") {
+            usage();
+            return 0;
+        }
         if (cmd == "--demo") {
-            return demo(argc > 2 ? argv[2] : "check-demo.artifact");
+            const std::string out =
+                args.size() > 1 ? args[1]
+                : server        ? "servercheck-demo.artifact"
+                                : "check-demo.artifact";
+            return finish(server ? serverDemo(out) : demo(out));
         }
         if (cmd == "--sweep") {
-            if (argc < 3)
+            if (args.size() < 2)
                 return usage();
-            return sweep(std::strtoull(argv[2], nullptr, 0),
-                         argc > 3 ? static_cast<unsigned>(
-                                        std::strtoul(argv[3], nullptr,
-                                                     0))
-                                  : 0);
+            const std::uint64_t seed =
+                std::strtoull(args[1].c_str(), nullptr, 0);
+            const unsigned n =
+                args.size() > 2 ? static_cast<unsigned>(std::strtoul(
+                                      args[2].c_str(), nullptr, 0))
+                                : 0;
+            return finish(server ? serverSweep(seed, n)
+                                 : sweep(seed, n));
         }
-        if (cmd[0] == '-')
+        if (cmd[0] == '-' || server)
             return usage();
-        return replayFile(cmd);
+        return finish(replayFile(cmd));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "check_replay: %s\n", e.what());
         return 2;
