@@ -159,7 +159,8 @@ faultKindFromName(const std::string &name)
 {
     using K = fault::FaultKind;
     for (K k : {K::DiskFail, K::LatentError, K::DiskStall, K::ScsiHang,
-                K::XbusPortError, K::HippiLinkDrop}) {
+                K::XbusPortError, K::HippiLinkDrop,
+                K::SilentCorruption}) {
         if (name == fault::faultKindName(k))
             return k;
     }
@@ -337,7 +338,12 @@ ServerArtifact::serialize() const
     for (const fault::FaultEvent &e : hist.faults.events) {
         out << e.at << " " << fault::faultKindName(e.kind) << " "
             << e.target << " " << e.offset << " " << e.bytes << " "
-            << e.duration << "\n";
+            << e.duration;
+        // The corruption surface rides as an optional trailing column
+        // so pre-integrity artifacts stay parseable.
+        if (e.kind == fault::FaultKind::SilentCorruption)
+            out << " " << fault::corruptionSurfaceName(e.surface);
+        out << "\n";
     }
     serializeTail(out, cfg, trial, diffs);
     return out.str();
@@ -378,6 +384,15 @@ ServerArtifact::parse(const std::string &text)
         if (ln.fail())
             malformed("bad fault line");
         e.kind = faultKindFromName(kind);
+        if (e.kind == fault::FaultKind::SilentCorruption) {
+            std::string surface;
+            // Tolerate an absent column (older artifacts): Media.
+            if (ln >> surface &&
+                !fault::corruptionSurfaceFromName(surface.c_str(),
+                                                  e.surface))
+                malformed("unknown corruption surface '" + surface +
+                          "'");
+        }
         art.hist.faults.events.push_back(e);
     }
 

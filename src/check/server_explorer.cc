@@ -241,6 +241,7 @@ struct Runner
         scfg.fsDeviceBytes =
             std::uint64_t(opt.cfg.numBlocks) * opt.cfg.blockSize;
         scfg.withReliability = true;
+        scfg.withIntegrity = true;
         srv = std::make_unique<server::Raid2Server>(eq, "check",
                                                     scfg);
         srv->fs().setAutoClean(opt.cfg.autoClean);
@@ -671,11 +672,23 @@ generateServerHistory(std::uint64_t seed, const ServerGenConfig &cfg)
                 hist.faults.diskStall(
                     at, static_cast<unsigned>(rng.below(16)),
                     sim::msToTicks(0.5 + double(rng.below(3))));
-            } else if (f < 75) {
+            } else if (f < 70) {
                 hist.faults.latent(
                     at, static_cast<unsigned>(rng.below(16)),
                     512 * rng.below(1024), 512 * (1 + rng.below(8)));
-            } else if (f < 90) {
+            } else if (f < 82) {
+                // Silent corruption: media flips dominate, with the
+                // transfer and network surfaces sampled too.
+                const std::uint64_t s = rng.below(10);
+                const fault::CorruptionSurface surface =
+                    s < 5   ? fault::CorruptionSurface::Media
+                    : s < 7 ? fault::CorruptionSurface::TransferRead
+                    : s < 9 ? fault::CorruptionSurface::TransferWrite
+                            : fault::CorruptionSurface::Network;
+                hist.faults.silentCorruption(
+                    at, surface, static_cast<unsigned>(rng.below(16)),
+                    512 * rng.below(1024), 1 + rng.below(16));
+            } else if (f < 92) {
                 hist.faults.scsiHang(
                     at, static_cast<unsigned>(rng.below(8)),
                     sim::msToTicks(1.0 + double(rng.below(3))));

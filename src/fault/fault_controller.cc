@@ -114,7 +114,43 @@ FaultController::handleEvent(const FaultEvent &e)
         trace(e, "hippi_link_drop");
         return;
     }
+    case FaultKind::SilentCorruption:
+        injectSilentCorruption(e);
+        return;
     }
+}
+
+void
+FaultController::injectSilentCorruption(const FaultEvent &e)
+{
+    if (e.surface == CorruptionSurface::Media) {
+        raid::RaidArray *fn = hooks.functional;
+        if (!fn || e.target >= fn->numDisks() ||
+            fn->isFailed(e.target) || e.bytes == 0 ||
+            e.offset >= _diskSpan) {
+            ++_suppressed;
+            return;
+        }
+        const std::uint64_t n = std::min(e.bytes, _diskSpan - e.offset);
+        auto disk = fn->diskData(e.target);
+        for (std::uint64_t i = 0; i < n; ++i)
+            disk[e.offset + i] ^= 0xa5;
+        // Deliberately NOT entered in the latent map: the drive
+        // reports nothing.  Only checksums (src/integrity/) can tell
+        // this copy no longer holds what was written.
+        ++_injected[static_cast<std::size_t>(e.kind)];
+        trace(e, "silent_corruption_media");
+        return;
+    }
+    if (!_onCorruption) {
+        ++_suppressed;
+        return;
+    }
+    _onCorruption(e);
+    ++_injected[static_cast<std::size_t>(e.kind)];
+    trace(e, e.surface == CorruptionSurface::Network
+                 ? "silent_corruption_net"
+                 : "silent_corruption_xfer");
 }
 
 void
@@ -367,7 +403,8 @@ FaultController::registerStats(sim::StatsRegistry &reg,
     static const char *kindKeys[] = {"disk_fails", "latent_errors",
                                      "disk_stalls", "scsi_hangs",
                                      "xbus_port_errors",
-                                     "hippi_link_drops"};
+                                     "hippi_link_drops",
+                                     "silent_corruptions"};
     for (std::size_t k = 0; k < _injected.size(); ++k) {
         reg.addGauge(prefix + ".injected." + kindKeys[k], [this, k] {
             return static_cast<double>(_injected[k]);

@@ -76,6 +76,15 @@ class FaultController : public raid::MediaFaultOracle
      *  plane. */
     void noteDiskRestored(unsigned d);
 
+    /** Transfer/network SilentCorruption events are delivered here
+     *  (the server arms one-shot flips in its integrity layer); media
+     *  events are applied to the functional twin directly.  Without a
+     *  listener, non-media corruption events are suppressed. */
+    void onSilentCorruption(std::function<void(const FaultEvent &)> cb)
+    {
+        _onCorruption = std::move(cb);
+    }
+
     /** @{ raid::MediaFaultOracle. */
     bool hasLatent(unsigned d, std::uint64_t off,
                    std::uint64_t bytes) const override;
@@ -128,6 +137,7 @@ class FaultController : public raid::MediaFaultOracle
     void handleEvent(const FaultEvent &e);
     void injectDiskFail(unsigned d);
     void injectLatent(unsigned d, std::uint64_t off, std::uint64_t bytes);
+    void injectSilentCorruption(const FaultEvent &e);
     void trace(const FaultEvent &e, const char *label) const;
 
     bool overlaps(const IntervalMap &m, std::uint64_t off,
@@ -150,8 +160,9 @@ class FaultController : public raid::MediaFaultOracle
     std::uint64_t _diskSpan = 0;
 
     std::function<void(unsigned)> _onDiskFail;
+    std::function<void(const FaultEvent &)> _onCorruption;
 
-    std::array<std::uint64_t, 6> _injected{};
+    std::array<std::uint64_t, 7> _injected{};
     std::uint64_t _suppressed = 0;
     std::uint64_t _dataLossEvents = 0;
     std::uint64_t _doubleFailures = 0;

@@ -1,6 +1,7 @@
 #include "fault/fault_plan.hh"
 
 #include <algorithm>
+#include <string_view>
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -23,8 +24,40 @@ faultKindName(FaultKind k)
         return "xbus_port_error";
     case FaultKind::HippiLinkDrop:
         return "hippi_link_drop";
+    case FaultKind::SilentCorruption:
+        return "silent_corruption";
     }
     return "?";
+}
+
+const char *
+corruptionSurfaceName(CorruptionSurface s)
+{
+    switch (s) {
+    case CorruptionSurface::Media:
+        return "media";
+    case CorruptionSurface::TransferRead:
+        return "xfer_read";
+    case CorruptionSurface::TransferWrite:
+        return "xfer_write";
+    case CorruptionSurface::Network:
+        return "network";
+    }
+    return "?";
+}
+
+bool
+corruptionSurfaceFromName(const char *name, CorruptionSurface &out)
+{
+    for (CorruptionSurface s :
+         {CorruptionSurface::Media, CorruptionSurface::TransferRead,
+          CorruptionSurface::TransferWrite, CorruptionSurface::Network}) {
+        if (std::string_view(name) == corruptionSurfaceName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
 }
 
 FaultPlan &
@@ -68,6 +101,16 @@ FaultPlan &
 FaultPlan::hippiLinkDrop(sim::Tick at, sim::Tick duration)
 {
     events.push_back({at, FaultKind::HippiLinkDrop, 0, 0, 0, duration});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::silentCorruption(sim::Tick at, CorruptionSurface surface,
+                            unsigned disk, std::uint64_t off,
+                            std::uint64_t bytes)
+{
+    events.push_back({at, FaultKind::SilentCorruption, disk, off, bytes,
+                      0, surface});
     return *this;
 }
 
@@ -176,6 +219,37 @@ FaultPlan::generate(const CampaignConfig &cfg, std::uint64_t seed)
                           plan.hippiLinkDrop(
                               at, r.inRange(cfg.stallMin, cfg.stallMax));
                       });
+    }
+    {
+        // Appended after every pre-existing class so enabling silent
+        // corruption never perturbs the other streams' arrivals.
+        auto rng = rngFor(0);
+        poissonStream(
+            rng, cfg.silentCorruptionsPerHour, cfg.horizon,
+            [&](sim::Tick at, sim::Random &r) {
+                const double u = r.unit();
+                if (u < cfg.corruptionMediaFraction &&
+                    cfg.diskBytes > 0) {
+                    std::uint64_t len =
+                        1 + r.below(std::max<std::uint64_t>(
+                                1, cfg.corruptionBytesMax));
+                    len = std::min(len, cfg.diskBytes);
+                    const std::uint64_t off =
+                        r.below(cfg.diskBytes - len + 1);
+                    plan.silentCorruption(at, CorruptionSurface::Media,
+                                          r.below(cfg.numDisks), off,
+                                          len);
+                } else if (u < cfg.corruptionMediaFraction +
+                                   cfg.corruptionTransferFraction) {
+                    plan.silentCorruption(
+                        at, r.chance(0.5)
+                                ? CorruptionSurface::TransferRead
+                                : CorruptionSurface::TransferWrite);
+                } else {
+                    plan.silentCorruption(at,
+                                          CorruptionSurface::Network);
+                }
+            });
     }
 
     plan.sortByTime();

@@ -35,9 +35,24 @@ enum class FaultKind
     XbusPortError, ///< VME port parity/handshake retry (target = port,
                    ///< duration)
     HippiLinkDrop, ///< connection drop on the HIPPI loop (duration)
+    SilentCorruption, ///< undetected bit flip (target/offset/bytes for
+                      ///< media; see CorruptionSurface)
 };
 
 const char *faultKindName(FaultKind k);
+
+/** Where a SilentCorruption event lands. */
+enum class CorruptionSurface
+{
+    Media,         ///< disk bytes at rest (target = disk, offset/bytes)
+    TransferRead,  ///< SCSI/XBUS return path: next device read garbled
+    TransferWrite, ///< SCSI/XBUS outbound: next write's landed copy
+    Network,       ///< HIPPI payload: next transfer retransmitted
+};
+
+const char *corruptionSurfaceName(CorruptionSurface s);
+/** Parse @p name; @return false if unknown (out untouched). */
+bool corruptionSurfaceFromName(const char *name, CorruptionSurface &out);
 
 /** One scheduled fault. */
 struct FaultEvent
@@ -48,6 +63,8 @@ struct FaultEvent
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
     sim::Tick duration = 0;
+    /** Only meaningful for FaultKind::SilentCorruption. */
+    CorruptionSurface surface = CorruptionSurface::Media;
 };
 
 /**
@@ -72,6 +89,11 @@ struct FaultPlan
     FaultPlan &xbusPortError(sim::Tick at, unsigned port,
                              sim::Tick duration);
     FaultPlan &hippiLinkDrop(sim::Tick at, sim::Tick duration);
+    /** Media: garble @p bytes at @p off of disk @p disk.  Transfer /
+     *  network surfaces ignore disk/off and arm one-shot flips. */
+    FaultPlan &silentCorruption(sim::Tick at, CorruptionSurface surface,
+                                unsigned disk = 0, std::uint64_t off = 0,
+                                std::uint64_t bytes = 1);
     /** @} */
 
     /** Stable-sort events by time (generation emits per-class streams;
@@ -94,6 +116,7 @@ struct FaultPlan
         double scsiHangsPerHour = 0.0;   ///< per string
         double xbusErrorsPerHour = 0.0;  ///< per port
         double hippiDropsPerHour = 0.0;
+        double silentCorruptionsPerHour = 0.0; ///< per array
 
         /** Latent defects cover [min, max] bytes, 512-aligned. */
         std::uint64_t latentBytesMin = 512;
@@ -101,6 +124,12 @@ struct FaultPlan
         /** Uniform transient-outage durations. */
         sim::Tick stallMin = sim::msToTicks(50);
         sim::Tick stallMax = sim::msToTicks(500);
+        /** Media corruption runs cover [1, corruptionBytesMax] bytes. */
+        std::uint64_t corruptionBytesMax = 64;
+        /** Surface mix for generated corruption: media at rest vs
+         *  in-flight transfers; the remainder is network (HIPPI). */
+        double corruptionMediaFraction = 0.70;
+        double corruptionTransferFraction = 0.20;
         /** Cap on whole-disk deaths across the campaign (a double
          *  failure is a terminal data-loss event; more adds nothing). */
         unsigned maxDiskFails = 2;

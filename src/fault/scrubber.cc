@@ -101,6 +101,11 @@ Scrubber::finishChunk(unsigned d, std::uint64_t off, std::uint64_t len)
     _bytesScanned += len;
     advanceCursor(len);
 
+    if (verifyHook) {
+        ++_verifyCalls;
+        verifyHook(d, off, len);
+    }
+
     const bool damaged = faults.hasLatent(d, off, len);
     // Repair needs full redundancy: skip while degraded (the latent
     // stays in the map; a later sweep retries) and on RAID-0 (nothing
@@ -180,6 +185,9 @@ Scrubber::registerStats(sim::StatsRegistry &reg,
     });
     reg.addGauge(prefix + ".repaired_bytes", [this] {
         return static_cast<double>(_repairedBytes);
+    });
+    reg.addGauge(prefix + ".verify_calls", [this] {
+        return static_cast<double>(_verifyCalls);
     });
 }
 

@@ -18,6 +18,7 @@
 #define RAID2_FAULT_SCRUBBER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "fault/fault_controller.hh"
@@ -53,12 +54,26 @@ class Scrubber
     void stop();
     bool running() const { return _running; }
 
+    /**
+     * Full-verify upgrade: invoked once per scanned chunk with the
+     * member-disk extent (disk, offset, length) after the timed read
+     * completes.  The server points this at its integrity layer, which
+     * checksum-verifies the logical bytes the chunk covers and heals
+     * the redundancy (parity recompute / mirror copy) — turning the
+     * latent-defect sweep into a silent-corruption sweep as well.
+     */
+    using VerifyHook =
+        std::function<void(unsigned d, std::uint64_t off,
+                           std::uint64_t len)>;
+    void setVerifyHook(VerifyHook hook) { verifyHook = std::move(hook); }
+
     /** @{ Statistics. */
     std::uint64_t sweepsCompleted() const { return _sweeps; }
     std::uint64_t chunksScanned() const { return _chunksScanned; }
     std::uint64_t bytesScanned() const { return _bytesScanned; }
     std::uint64_t rangesRepaired() const { return _rangesRepaired; }
     std::uint64_t repairedBytes() const { return _repairedBytes; }
+    std::uint64_t verifyCalls() const { return _verifyCalls; }
     /** @} */
 
     /** Register scrub stats under @p prefix ("scrub.*"). */
@@ -77,6 +92,7 @@ class Scrubber
     raid::SimArray &array;
     FaultController &faults;
     Config cfg;
+    VerifyHook verifyHook;
 
     /** Per-disk extent the sweep covers. */
     std::uint64_t sweepBytes;
@@ -92,6 +108,7 @@ class Scrubber
     std::uint64_t _bytesScanned = 0;
     std::uint64_t _rangesRepaired = 0;
     std::uint64_t _repairedBytes = 0;
+    std::uint64_t _verifyCalls = 0;
 };
 
 } // namespace raid2::fault

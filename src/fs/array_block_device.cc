@@ -3,10 +3,13 @@
 namespace raid2::fs {
 
 ArrayBlockDevice::ArrayBlockDevice(raid::RaidArray &array,
-                                   std::uint32_t block_size)
+                                   std::uint32_t block_size,
+                                   std::uint64_t max_blocks)
     : _array(array), bs(block_size),
       blocks(array.capacity() / block_size)
 {
+    if (max_blocks != 0 && max_blocks < blocks)
+        blocks = max_blocks;
 }
 
 void

@@ -27,7 +27,11 @@ class ArrayBlockDevice : public BlockDevice
     using IoHook = std::function<void(std::uint64_t offset_bytes,
                                       std::uint64_t len_bytes, bool write)>;
 
-    ArrayBlockDevice(raid::RaidArray &array, std::uint32_t block_size);
+    /** @p max_blocks caps the exposed geometry (0 = the array's full
+     *  data capacity); the array is usually stripe-rounded and callers
+     *  may need the device to match an exact byte budget. */
+    ArrayBlockDevice(raid::RaidArray &array, std::uint32_t block_size,
+                     std::uint64_t max_blocks = 0);
 
     std::uint32_t blockSize() const override { return bs; }
     std::uint64_t numBlocks() const override { return blocks; }

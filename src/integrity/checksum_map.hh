@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-block content checksums for the functional data plane.
+ *
+ * RAID parity protects against *reported* failures; a silently flipped
+ * bit on media or on a transfer is invisible to it.  The ChecksumMap
+ * closes that gap: every block written through the functional device
+ * chain records a 64-bit FNV-1a of its contents, and verify-on-read
+ * (integrity::VerifyingDevice) compares what came back against what
+ * was written.  The same checksum is persisted in each segment
+ * summary's SummaryEntry::csum (format v2), so the map can be re-seeded
+ * from the log after a crash (integrity::seedFromSegments).
+ *
+ * Blocks never written have no expectation and verify trivially — the
+ * map answers "does this match what the server last wrote", not "is
+ * this byte pattern plausible".
+ */
+
+#ifndef RAID2_INTEGRITY_CHECKSUM_MAP_HH
+#define RAID2_INTEGRITY_CHECKSUM_MAP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lfs/format.hh"
+#include "sim/logging.hh"
+
+namespace raid2::integrity {
+
+/** Block number -> expected content checksum (fnv1a64). */
+class ChecksumMap
+{
+  public:
+    ChecksumMap(std::uint64_t num_blocks, std::uint32_t block_size)
+        : bs(block_size), sums(num_blocks, 0), isKnown(num_blocks, false)
+    {
+    }
+
+    std::uint32_t blockSize() const { return bs; }
+    std::uint64_t numBlocks() const { return sums.size(); }
+
+    /** Record the checksum of a freshly written block. */
+    void
+    record(std::uint64_t bno, std::span<const std::uint8_t> block)
+    {
+        if (block.size() != bs)
+            sim::panic("ChecksumMap: bad block size %zu", block.size());
+        set(bno, lfs::fnv1a64(block));
+    }
+
+    /** Install a known-good checksum directly (log re-seeding). */
+    void
+    set(std::uint64_t bno, std::uint64_t csum)
+    {
+        if (bno >= sums.size())
+            sim::panic("ChecksumMap: block %llu out of range",
+                       (unsigned long long)bno);
+        if (!isKnown[bno]) {
+            isKnown[bno] = true;
+            ++_known;
+        }
+        sums[bno] = csum;
+    }
+
+    bool
+    known(std::uint64_t bno) const
+    {
+        return bno < isKnown.size() && isKnown[bno];
+    }
+
+    /** @pre known(bno) */
+    std::uint64_t
+    expected(std::uint64_t bno) const
+    {
+        return sums.at(bno);
+    }
+
+    /** True if @p block matches the expectation (or none exists). */
+    bool
+    matches(std::uint64_t bno, std::span<const std::uint8_t> block) const
+    {
+        if (!known(bno))
+            return true;
+        return lfs::fnv1a64(block) == sums[bno];
+    }
+
+    /** Blocks with a recorded expectation. */
+    std::uint64_t knownCount() const { return _known; }
+
+    /** Forget every expectation (a remount re-seeds from the log). */
+    void
+    reset()
+    {
+        std::fill(isKnown.begin(), isKnown.end(), false);
+        _known = 0;
+    }
+
+  private:
+    std::uint32_t bs;
+    std::vector<std::uint64_t> sums;
+    std::vector<bool> isKnown;
+    std::uint64_t _known = 0;
+};
+
+} // namespace raid2::integrity
+
+#endif // RAID2_INTEGRITY_CHECKSUM_MAP_HH

@@ -34,7 +34,7 @@ constexpr InodeNum nullIno = 0;
 constexpr std::uint32_t superMagic = 0x4c465321;      // "LFS!"
 constexpr std::uint32_t summaryMagic = 0x5345474d;    // "SEGM"
 constexpr std::uint32_t checkpointMagic = 0x43484b50; // "CHKP"
-constexpr std::uint32_t formatVersion = 1;
+constexpr std::uint32_t formatVersion = 2; // v2: SummaryEntry.csum
 
 constexpr unsigned numDirect = 12;
 constexpr std::uint32_t inodeBytes = 256;
@@ -65,6 +65,19 @@ fnv1a(std::span<const std::uint8_t> bytes, std::uint32_t seed = 0x811c9dc5)
     for (std::uint8_t b : bytes) {
         h ^= b;
         h *= 16777619u;
+    }
+    return h;
+}
+
+/** 64-bit FNV-1a (per-block content checksums; see src/integrity/). */
+inline std::uint64_t
+fnv1a64(std::span<const std::uint8_t> bytes,
+        std::uint64_t seed = 0xcbf29ce484222325ull)
+{
+    std::uint64_t h = seed;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
     }
     return h;
 }
@@ -152,8 +165,9 @@ struct SummaryEntry
     std::uint32_t kind; // BlockKind
     InodeNum ino;
     std::uint64_t aux;
+    std::uint64_t csum; // fnv1a64 of the payload block's contents
 };
-static_assert(sizeof(SummaryEntry) == 16);
+static_assert(sizeof(SummaryEntry) == 24);
 
 /** First block of every written segment. */
 struct SummaryHeader

@@ -48,7 +48,7 @@ SegmentWriter::add(BlockKind kind, InodeNum ino, std::uint64_t aux,
 
     const BlockAddr addr = payloadBase() + entries.size();
     entries.push_back(SummaryEntry{static_cast<std::uint32_t>(kind), ino,
-                                   aux});
+                                   aux, fnv1a64(data)});
     payload.insert(payload.end(), data.begin(), data.end());
     return addr;
 }
@@ -72,6 +72,7 @@ SegmentWriter::updateInPlace(BlockAddr addr,
         static_cast<std::size_t>(addr - payloadBase());
     std::memcpy(payload.data() + slot * sb.blockSize, data.data(),
                 sb.blockSize);
+    entries[slot].csum = fnv1a64(data);
 }
 
 void

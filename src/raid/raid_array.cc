@@ -219,6 +219,104 @@ RaidArray::reconstructRange(unsigned dead, std::uint64_t disk_off,
     xorFold(out.data(), srcs, k, out.size());
 }
 
+bool
+RaidArray::tryReconstructRange(unsigned dead, std::uint64_t disk_off,
+                               std::span<std::uint8_t> out) const
+{
+    if (out.empty())
+        return true;
+    if (dead >= disks.size() || disk_off + out.size() > diskBytes)
+        return false;
+    const RaidLevel level = _layout.level();
+    if (level == RaidLevel::Raid0)
+        return false;
+
+    if (level == RaidLevel::Raid1) {
+        const unsigned m = mirrorPartnerOf(_layout, dead);
+        if (failed[m] || latentOverlaps(m, disk_off, out.size()))
+            return false;
+        std::memcpy(out.data(), disks[m].data() + disk_off, out.size());
+        return true;
+    }
+
+    // Levels 3/5: parity only covers whole stripes.
+    if (disk_off + out.size() > _layout.numStripes() * _layout.unitBytes())
+        return false;
+    // Vet every survivor before touching out: a second failure or a
+    // survivor latent range means the fold would produce garbage.
+    const std::uint8_t *srcs[kMaxFoldSources];
+    std::size_t k = 0;
+    for (unsigned d = 0; d < disks.size(); ++d) {
+        if (d == dead)
+            continue;
+        if (failed[d] || latentOverlaps(d, disk_off, out.size()))
+            return false;
+        srcs[k++] = disks[d].data() + disk_off;
+    }
+    xorFold(out.data(), srcs, k, out.size());
+    return true;
+}
+
+void
+RaidArray::patchDiskRange(unsigned d, std::uint64_t off,
+                          std::span<const std::uint8_t> data)
+{
+    if (d >= disks.size())
+        sim::panic("patchDiskRange: bad disk %u", d);
+    if (off + data.size() > diskBytes)
+        sim::panic("patchDiskRange: range [%llu, +%zu) beyond disk",
+                   (unsigned long long)off, data.size());
+    if (failed[d])
+        sim::panic("patchDiskRange: disk %u is failed", d);
+    if (data.empty())
+        return;
+    std::memcpy(disks[d].data() + off, data.data(), data.size());
+    eraseLatentRange(d, off, data.size());
+}
+
+bool
+RaidArray::healRedundancyRange(unsigned d, std::uint64_t off,
+                               std::uint64_t len)
+{
+    if (len == 0 || _layout.level() == RaidLevel::Raid0)
+        return true;
+    if (d >= disks.size() || failedCount() > 0)
+        return false;
+    const std::uint64_t end = std::min(off + len, diskBytes);
+    if (off >= end)
+        return true;
+
+    if (_layout.level() == RaidLevel::Raid1) {
+        // The primary copy holds the verified data; re-copy it onto
+        // the mirror half regardless of which side was scanned.
+        const unsigned half = _layout.numDisks() / 2;
+        const unsigned p = d < half ? d : d - half;
+        const unsigned m = _layout.mirrorDisk(p);
+        // Heal known-garbled primary bytes from the mirror first, or
+        // the copy below would launder them into the good side.
+        repairLatentIn(p, off, end - off);
+        std::memcpy(disks[m].data() + off, disks[p].data() + off,
+                    static_cast<std::size_t>(end - off));
+        eraseLatentRange(m, off, end - off);
+        return true;
+    }
+
+    // Levels 3/5: re-derive parity for every stripe in the range where
+    // @p d holds the parity unit (data units were verified upstream).
+    const std::uint64_t unit = _layout.unitBytes();
+    const std::uint64_t covered = _layout.numStripes() * unit;
+    for (std::uint64_t s = off / unit;
+         s * unit < std::min(end, covered); ++s) {
+        if (_layout.parityDisk(s) == d) {
+            // Repairs data-unit latents (and drops the parity-unit
+            // latent record) before the recompute folds raw bytes.
+            prepareStripeForUpdate(s);
+            recomputeParity(s);
+        }
+    }
+    return true;
+}
+
 void
 RaidArray::readDiskRange(unsigned d, std::uint64_t off,
                          std::span<std::uint8_t> out) const

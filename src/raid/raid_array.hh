@@ -120,6 +120,32 @@ class RaidArray
                        const std::string &prefix) const;
     /** @} */
 
+    /** @{ Integrity-repair primitives (see src/integrity/).
+     *
+     * tryReconstructRange() is the non-fatal sibling of the internal
+     * reconstruction path: it recovers what disk @p dead should hold at
+     * [disk_off, disk_off+out.size()) from redundancy (the mirror for
+     * level 1, the XOR of the survivors for levels 3/5) and reports
+     * failure — RAID-0, a second failed disk, a survivor latent range
+     * overlapping the request, or a range beyond the parity-covered
+     * region — by returning false with @p out untouched.  It never
+     * returns stale or partially reconstructed bytes.
+     */
+    bool tryReconstructRange(unsigned dead, std::uint64_t disk_off,
+                             std::span<std::uint8_t> out) const;
+    /** Patch verified bytes straight into disk @p d's buffer without
+     *  touching parity (the parity already encodes @p data — this is
+     *  the repair-writeback step, same shape as repairLatent). */
+    void patchDiskRange(unsigned d, std::uint64_t off,
+                        std::span<const std::uint8_t> data);
+    /** Re-derive the redundancy covering [off, off+len) of disk @p d
+     *  from (verified) data: recompute parity for stripes where @p d
+     *  is the parity disk, or re-copy the mirror pair for level 1.
+     *  @return false if the array is degraded (heal needs all disks). */
+    bool healRedundancyRange(unsigned d, std::uint64_t off,
+                             std::uint64_t len);
+    /** @} */
+
     /** True if every stripe's parity equals the XOR of its data (and
      *  every mirror pair matches).  Levels 0 trivially true. */
     bool redundancyConsistent() const;

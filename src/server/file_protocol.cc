@@ -132,7 +132,8 @@ RaidFileClient::raidOpen(const std::string &path, bool create,
 
 void
 RaidFileClient::directRead(lfs::InodeNum ino, std::uint64_t off,
-                           std::uint64_t n, std::function<void()> done)
+                           std::uint64_t n,
+                           std::function<void(bool)> done)
 {
     // Command exchange already paid; the server reads through the
     // high-bandwidth path: array -> XBUS memory -> HIPPI source ->
@@ -142,8 +143,8 @@ RaidFileClient::directRead(lfs::InodeNum ino, std::uint64_t off,
         server.host().cpu().submitBusyTime(
             sim::transferTicks(n, cal::clientReadMBs), nullptr);
     }
-    server.fileRead(ino, off, n, std::move(done), readOutStages(),
-                    cal::hippiSetupOverhead);
+    server.fileReadChecked(ino, off, n, std::move(done),
+                           readOutStages(), cal::hippiSetupOverhead);
 }
 
 void
@@ -202,9 +203,10 @@ RaidFileClient::issueRead(Handle h, lfs::InodeNum ino, std::uint64_t off,
     eq.scheduleIn(cfg.commandRtt, [this, ino, off, n,
                                    complete =
                                        std::move(complete)]() mutable {
-        directRead(ino, off, n, [complete = std::move(complete)]() mutable {
-            complete(Status::Ok);
-        });
+        directRead(ino, off, n,
+                   [complete = std::move(complete)](bool ok) mutable {
+                       complete(ok ? Status::Ok : Status::DataCorrupt);
+                   });
     });
 }
 

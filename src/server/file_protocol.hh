@@ -162,7 +162,7 @@ class RaidFileClient
 
     /** @{ Direct (scheduler-less) datapath issue, post-RTT. */
     void directRead(lfs::InodeNum ino, std::uint64_t off,
-                    std::uint64_t n, std::function<void()> done);
+                    std::uint64_t n, std::function<void(bool ok)> done);
     void directWrite(lfs::InodeNum ino, std::uint64_t off,
                      std::uint64_t len, std::function<void()> done);
     /** @} */

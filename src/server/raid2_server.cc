@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "integrity/log_seed.hh"
 #include "sim/logging.hh"
 #include "sim/stats_registry.hh"
 #include "sim/trace_sink.hh"
@@ -23,9 +24,25 @@ Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
     fsCpu = std::make_unique<sim::Service>(
         eq, _name + ".fscpu", sim::Service::Config{0.0, 0, 1});
 
+    if (cfg.withFs && cfg.withIntegrity) {
+        // Functional RAID twin sized so its data capacity covers the
+        // file-system device (whole stripes; geometry shared with the
+        // timed array, whose layout carries the disk count the
+        // topology resolved).
+        raid::LayoutConfig lcfg = cfg.layout;
+        lcfg.numDisks = _array->layout().numDisks();
+        const raid::RaidLayout probe(lcfg, lcfg.stripeUnitBytes);
+        const std::uint64_t sdb = probe.stripeDataBytes();
+        const std::uint64_t stripes =
+            (cfg.fsDeviceBytes + sdb - 1) / sdb;
+        _functional = std::make_unique<raid::RaidArray>(
+            lcfg, stripes * lcfg.stripeUnitBytes);
+    }
+
     if (cfg.withReliability) {
         fault::FaultController::Hooks hooks;
         hooks.array = _array.get();
+        hooks.functional = _functional.get();
         hooks.hippi = &_loop->channel();
         _faults = std::make_unique<fault::FaultController>(
             eq, _name + ".fault", hooks);
@@ -45,10 +62,23 @@ Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
             cfg.fsParams.alignSegmentsTo =
                 _array->layout().stripeDataBytes();
         }
-        fsDev = std::make_unique<fs::MemBlockDevice>(
-            cfg.fsParams.blockSize,
-            cfg.fsDeviceBytes / cfg.fsParams.blockSize);
-        hookDev = std::make_unique<fs::HookBlockDevice>(*fsDev);
+        fs::BlockDevice *base = nullptr;
+        if (cfg.withIntegrity) {
+            // Clamp to fsDeviceBytes: the twin is stripe-rounded, but
+            // the file system must see the same geometry either way.
+            arrayDev = std::make_unique<fs::ArrayBlockDevice>(
+                *_functional, cfg.fsParams.blockSize,
+                cfg.fsDeviceBytes / cfg.fsParams.blockSize);
+            verifyDev = std::make_unique<integrity::VerifyingDevice>(
+                *arrayDev, _functional.get(), cfg.integrityCfg);
+            base = verifyDev.get();
+        } else {
+            fsDev = std::make_unique<fs::MemBlockDevice>(
+                cfg.fsParams.blockSize,
+                cfg.fsDeviceBytes / cfg.fsParams.blockSize);
+            base = fsDev.get();
+        }
+        hookDev = std::make_unique<fs::HookBlockDevice>(*base);
         hookDev->setHook(
             [this](std::uint64_t off, std::uint64_t len, bool is_write) {
                 if (is_write)
@@ -59,6 +89,31 @@ Raid2Server::Raid2Server(sim::EventQueue &eq_, std::string name,
         _fs->setAutoClean(true);
         // Format/mount traffic is setup, not workload.
         pendingWrites.clear();
+    }
+
+    if (verifyDev && _scrubber) {
+        _scrubber->setVerifyHook(
+            [this](unsigned d, std::uint64_t off, std::uint64_t len) {
+                scrubVerifyChunk(d, off, len);
+            });
+    }
+    if (verifyDev && _faults) {
+        _faults->onSilentCorruption([this](const fault::FaultEvent &e) {
+            switch (e.surface) {
+            case fault::CorruptionSurface::TransferRead:
+                verifyDev->armReadCorruption();
+                break;
+            case fault::CorruptionSurface::TransferWrite:
+                verifyDev->armWriteCorruption();
+                break;
+            default:
+                // HIPPI payload flip: the link FCS catches it, so the
+                // next checked fast-path read pays a retransmit —
+                // a timing cost, never bad bytes.
+                ++_netFlipsArmed;
+                break;
+            }
+        });
     }
 }
 
@@ -91,9 +146,11 @@ Raid2Server::fsHookDevice()
     return *hookDev;
 }
 
-fs::MemBlockDevice &
+fs::BlockDevice &
 Raid2Server::rawFsDevice()
 {
+    if (verifyDev)
+        return *verifyDev;
     if (!fsDev)
         sim::fatal("Raid2Server %s: configured without a file system",
                    _name.c_str());
@@ -103,10 +160,18 @@ Raid2Server::rawFsDevice()
 void
 Raid2Server::remountFs()
 {
-    if (!fsDev)
+    if (!hookDev)
         sim::fatal("Raid2Server %s: configured without a file system",
                    _name.c_str());
     _fs.reset();
+    if (verifyDev) {
+        // A remount models a restart: the in-memory expectations are
+        // gone, so re-seed them from the checksums persisted in the
+        // segment summaries (reads go to the inner device — the map
+        // being rebuilt must not be consulted).
+        verifyDev->checksums().reset();
+        integrity::seedFromSegments(*arrayDev, verifyDev->checksums());
+    }
     _fs = std::make_unique<lfs::Lfs>(*hookDev);
     _fs->setAutoClean(true);
     // Mount traffic is recovery bookkeeping, not workload.
@@ -154,6 +219,24 @@ Raid2Server::scrubber()
         sim::fatal("Raid2Server %s: configured without reliability",
                    _name.c_str());
     return *_scrubber;
+}
+
+integrity::VerifyingDevice &
+Raid2Server::integrity()
+{
+    if (!verifyDev)
+        sim::fatal("Raid2Server %s: configured without integrity",
+                   _name.c_str());
+    return *verifyDev;
+}
+
+raid::RaidArray &
+Raid2Server::functionalArray()
+{
+    if (!_functional)
+        sim::fatal("Raid2Server %s: configured without integrity",
+                   _name.c_str());
+    return *_functional;
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +350,16 @@ Raid2Server::registerStats(sim::StatsRegistry &reg) const
         _faults->registerStats(reg, "fault");
         _recovery->registerStats(reg, "recovery");
         _scrubber->registerStats(reg, "scrub");
+    }
+    if (verifyDev) {
+        verifyDev->registerStats(reg, "integrity");
+        _functional->registerStats(reg, "integrity.array");
+        reg.addGauge("integrity.corrupt_reads", [this] {
+            return static_cast<double>(_corruptReads);
+        });
+        reg.addGauge("integrity.net_retransmits", [this] {
+            return static_cast<double>(_netRetransmits);
+        });
     }
     fsCpu->registerStats(reg, "server.fs_cpu");
     reg.addGauge("server.segment_flushes", [this] {
@@ -396,6 +489,130 @@ Raid2Server::fileRead(lfs::InodeNum ino, std::uint64_t off,
         PipelinedReader::start(eq, *_array, std::move(ranges), pcfg,
                                std::move(done));
     });
+}
+
+bool
+Raid2Server::verifyFunctionalRange(std::uint64_t dev_off,
+                                   std::uint64_t bytes)
+{
+    if (!verifyDev || bytes == 0)
+        return true;
+    const std::uint32_t bs = verifyDev->blockSize();
+    const std::uint64_t b0 = dev_off / bs;
+    const std::uint64_t b1 =
+        std::min((dev_off + bytes + bs - 1) / bs,
+                 verifyDev->numBlocks());
+    if (b0 >= b1)
+        return true;
+    _verifyScratch.resize((b1 - b0) * bs);
+    return verifyDev->verifiedReadRange(
+        b0, b1 - b0, {_verifyScratch.data(), _verifyScratch.size()});
+}
+
+void
+Raid2Server::fileReadChecked(lfs::InodeNum ino, std::uint64_t off,
+                             std::uint64_t len,
+                             std::function<void(bool)> done,
+                             std::vector<sim::Stage> extra_out,
+                             sim::Tick out_setup)
+{
+    fsCpu->submitBusyTime(cfg.fsReadOverhead, [this, ino, off, len,
+                                               extra_out =
+                                                   std::move(extra_out),
+                                               out_setup,
+                                               done = std::move(done)]()
+                                                  mutable {
+        bool ok = true;
+        std::vector<Range> ranges;
+        for (const lfs::FileExtent &e : fs().mapFile(ino, off, len)) {
+            if (e.hole)
+                continue;
+            ranges.push_back(Range{e.deviceOffset, e.bytes});
+            // Verify-on-read with read-repair on the functional plane;
+            // the timed transfer below ships whatever survived.
+            if (!verifyFunctionalRange(e.deviceOffset, e.bytes))
+                ok = false;
+        }
+        if (!ok) {
+            ++_corruptReads;
+            if (auto *t = eq.tracer())
+                t->complete(_name, "data_corrupt_read", eq.now(),
+                            eq.now(), len);
+        }
+        PipelinedReader::Config pcfg;
+        pcfg.depth = cfg.pipelineDepth;
+        pcfg.bufferBytes = cfg.pipelineBufferBytes;
+        pcfg.outStages = {sim::Stage(_board->memory())};
+        for (auto &st : extra_out)
+            pcfg.outStages.push_back(st);
+        pcfg.outSetup = out_setup;
+        pcfg.buffers = &_board->buffers();
+        auto finish = [this, ok, len, done = std::move(done)]() mutable {
+            if (_netFlipsArmed > 0) {
+                --_netFlipsArmed;
+                ++_netRetransmits;
+                if (auto *t = eq.tracer())
+                    t->complete(_name, "hippi_retransmit", eq.now(),
+                                eq.now(), len);
+                _loop->transfer(len,
+                                [ok, done = std::move(done)]() mutable {
+                                    done(ok);
+                                });
+                return;
+            }
+            done(ok);
+        };
+        PipelinedReader::start(eq, *_array, std::move(ranges), pcfg,
+                               std::move(finish));
+    });
+}
+
+void
+Raid2Server::standardReadChecked(lfs::InodeNum ino, std::uint64_t off,
+                                 std::uint64_t len,
+                                 std::function<void(bool)> done)
+{
+    bool ok = true;
+    if (verifyDev) {
+        for (const lfs::FileExtent &e : fs().mapFile(ino, off, len)) {
+            if (e.hole)
+                continue;
+            if (!verifyFunctionalRange(e.deviceOffset, e.bytes))
+                ok = false;
+        }
+        if (!ok)
+            ++_corruptReads;
+    }
+    standardRead(ino, off, len,
+                 [ok, done = std::move(done)]() mutable { done(ok); });
+}
+
+void
+Raid2Server::scrubVerifyChunk(unsigned d, std::uint64_t off,
+                              std::uint64_t len)
+{
+    if (!verifyDev)
+        return;
+    const raid::RaidLayout &lay = _functional->layout();
+    const std::uint64_t span = _functional->diskData(0).size();
+    if (off >= span)
+        return; // timed array extends past the functional twin
+    len = std::min(len, span - off);
+    // Stripes the member-disk chunk intersects -> the logical blocks
+    // they carry.  Verify (and repair) the data first: healing the
+    // redundancy from an unverified copy would launder corruption
+    // into the parity/mirror.
+    const std::uint64_t unit = lay.unitBytes();
+    const std::uint64_t s0 = off / unit;
+    const std::uint64_t s1 = (off + len + unit - 1) / unit;
+    const std::uint64_t sdb = lay.stripeDataBytes();
+    const std::uint32_t bs = verifyDev->blockSize();
+    const std::uint64_t b0 = (s0 * sdb) / bs;
+    const std::uint64_t b1 =
+        std::min((s1 * sdb + bs - 1) / bs, verifyDev->numBlocks());
+    if (b0 < b1)
+        verifyDev->scrubVerify(b0, b1 - b0);
+    _functional->healRedundancyRange(d, off, len);
 }
 
 void

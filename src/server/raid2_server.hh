@@ -26,8 +26,10 @@
 #include "fault/fault_controller.hh"
 #include "fault/recovery_manager.hh"
 #include "fault/scrubber.hh"
+#include "fs/array_block_device.hh"
 #include "fs/block_device.hh"
 #include "fs/mem_block_device.hh"
+#include "integrity/verifying_device.hh"
 #include "host/host_workstation.hh"
 #include "host/lru_cache.hh"
 #include "lfs/lfs.hh"
@@ -84,6 +86,19 @@ class Raid2Server
         fault::Scrubber::Config scrub;
         /** @} */
 
+        /** @{ End-to-end integrity (src/integrity/).  When set, the
+         *  functional device becomes a raid::RaidArray twin (sized to
+         *  cover fsDeviceBytes) wrapped in a VerifyingDevice: every
+         *  write records a per-block checksum, every read is verified
+         *  with read-repair, unrepairable blocks surface as corrupt
+         *  reads, and the scrubber (withReliability) upgrades to a
+         *  full checksum-verify sweep.  Off by default: the functional
+         *  device stays a plain MemBlockDevice and reads cost nothing
+         *  extra. */
+        bool withIntegrity = false;
+        integrity::VerifyingDevice::Config integrityCfg;
+        /** @} */
+
         Config()
         {
             layout.level = raid::RaidLevel::Raid5;
@@ -107,6 +122,12 @@ class Raid2Server
     fault::RecoveryManager &recovery();
     fault::Scrubber &scrubber();
     bool hasReliability() const { return _faults != nullptr; }
+    /** @} */
+    /** @{ Integrity subsystem (Config::withIntegrity only). */
+    integrity::VerifyingDevice &integrity();
+    bool hasIntegrity() const { return verifyDev != nullptr; }
+    /** The functional RAID twin backing the integrity chain. */
+    raid::RaidArray &functionalArray();
     /** @} */
     /** @} */
 
@@ -152,6 +173,22 @@ class Raid2Server
                   std::vector<sim::Stage> extra_out = {},
                   sim::Tick out_setup = 0);
 
+    /**
+     * Like fileRead() but the functional bytes are checksum-verified
+     * first (with read-repair); the completion reports whether every
+     * block held verified data.  @p done(false) means some block was
+     * unrepairably corrupt — the front end surfaces it as
+     * Status::DataCorrupt, never as silent wrong data.  A pending
+     * HIPPI-payload corruption (CorruptionSurface::Network) costs one
+     * link-level retransmit of the payload before completion.
+     * Without Config::withIntegrity this is fileRead() + done(true).
+     */
+    void fileReadChecked(lfs::InodeNum ino, std::uint64_t off,
+                         std::uint64_t len,
+                         std::function<void(bool ok)> done,
+                         std::vector<sim::Stage> extra_out = {},
+                         sim::Tick out_setup = 0);
+
     /** Timed sync: flush LFS state and wait for the array writes. */
     void fsSync(std::function<void()> done);
 
@@ -165,6 +202,12 @@ class Raid2Server
      *  (§3.2). */
     void standardRead(lfs::InodeNum ino, std::uint64_t off,
                       std::uint64_t len, std::function<void()> done);
+
+    /** Checked sibling of standardRead(): verifies the functional
+     *  bytes first, like fileReadChecked(). */
+    void standardReadChecked(lfs::InodeNum ino, std::uint64_t off,
+                             std::uint64_t len,
+                             std::function<void(bool ok)> done);
 
     /**
      * Standard-mode (NFS-style) write: Ethernet -> host memory ->
@@ -189,10 +232,12 @@ class Raid2Server
     /** Same device, typed: for attaching a fs::WriteLog capture
      *  (model checking) next to the write-mirroring hook. */
     fs::HookBlockDevice &fsHookDevice();
-    /** The raw in-memory twin, bypassing the write-mirroring hook —
-     *  for restore writes whose array timing the BackupEngine models
-     *  itself. */
-    fs::MemBlockDevice &rawFsDevice();
+    /** The functional twin bypassing the write-mirroring hook — for
+     *  restore writes whose array timing the BackupEngine models
+     *  itself.  With Config::withIntegrity this is the verifying
+     *  device (restore writes re-record checksums); otherwise the
+     *  in-memory device. */
+    fs::BlockDevice &rawFsDevice();
     /** Tear down and re-mount LFS from the functional device (after a
      *  restore rewrote it). */
     void remountFs();
@@ -232,6 +277,10 @@ class Raid2Server
     /** @{ Statistics. */
     std::uint64_t segmentFlushes() const { return _segmentFlushes; }
     std::uint64_t flushedBytes() const { return _flushedBytes; }
+    /** Checked reads that completed corrupt (integrity only). */
+    std::uint64_t corruptReads() const { return _corruptReads; }
+    /** HIPPI payload retransmits forced by network corruption. */
+    std::uint64_t netRetransmits() const { return _netRetransmits; }
 
     /**
      * Register the whole server's stats tree: "xbus.*", "disk.*",
@@ -246,6 +295,15 @@ class Raid2Server
     void drainPendingWrites(std::function<void()> per_batch_done);
     void noteDeviceWrite(std::uint64_t off, std::uint64_t len);
     void flushCompleted();
+    /** Verify [dev_off, dev_off+bytes) of the functional device, with
+     *  read-repair; @return false on unrepairable corruption.  True
+     *  when integrity is off. */
+    bool verifyFunctionalRange(std::uint64_t dev_off,
+                               std::uint64_t bytes);
+    /** Scrubber VerifyHook: checksum-verify the logical blocks the
+     *  scanned member-disk chunk covers, then heal its redundancy. */
+    void scrubVerifyChunk(unsigned d, std::uint64_t off,
+                          std::uint64_t len);
 
     sim::EventQueue &eq;
     std::string _name;
@@ -256,6 +314,11 @@ class Raid2Server
     std::unique_ptr<host::HostWorkstation> _host;
     std::unique_ptr<net::EthernetLink> _ethernet;
     std::unique_ptr<net::HippiLoopback> _loop;
+
+    /** Functional RAID twin; null unless Config::withIntegrity.
+     *  Declared before the FaultController (which mirrors faults into
+     *  it) and before the device chain built on top of it. */
+    std::unique_ptr<raid::RaidArray> _functional;
 
     /** @{ Reliability subsystem; null unless Config::withReliability.
      *  Declared after the array so the controller detaches its oracle
@@ -268,7 +331,12 @@ class Raid2Server
     /** Serializes the per-request file system CPU overheads. */
     std::unique_ptr<sim::Service> fsCpu;
 
+    /** Functional device chain.  Plain: fsDev -> hookDev.  Integrity:
+     *  _functional -> arrayDev -> verifyDev -> hookDev (declaration
+     *  order matters — wrappers must die before what they wrap). */
     std::unique_ptr<fs::MemBlockDevice> fsDev;
+    std::unique_ptr<fs::ArrayBlockDevice> arrayDev;
+    std::unique_ptr<integrity::VerifyingDevice> verifyDev;
     std::unique_ptr<fs::HookBlockDevice> hookDev;
     std::unique_ptr<lfs::Lfs> _fs;
 
@@ -283,6 +351,13 @@ class Raid2Server
     std::uint64_t _flushedBytes = 0;
     std::uint64_t _restores = 0;
     bool _restoreActive = false;
+
+    /** @{ Integrity-path state. */
+    std::vector<std::uint8_t> _verifyScratch;
+    unsigned _netFlipsArmed = 0;
+    std::uint64_t _netRetransmits = 0;
+    std::uint64_t _corruptReads = 0;
+    /** @} */
 
     FsOpObserver _fsOpObserver;
 };

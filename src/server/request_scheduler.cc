@@ -23,6 +23,8 @@ statusName(Status st)
         return "Busy";
     case Status::Throttled:
         return "Throttled";
+    case Status::DataCorrupt:
+        return "DataCorrupt";
     }
     return "?";
 }
@@ -201,11 +203,18 @@ RequestScheduler::dispatch(ClassState &cs, Request &&r,
     auto on_done = [this, &cs, req, granted_at, span] {
         finish(cs, *req, granted_at, span, Status::Ok, req->ino);
     };
+    // Reads report verify-on-read failures (integrity subsystem) as
+    // DataCorrupt instead of silently shipping wrong bytes.
+    auto on_read_done = [this, &cs, req, granted_at, span](bool ok) {
+        finish(cs, *req, granted_at, span,
+               ok ? Status::Ok : Status::DataCorrupt, req->ino);
+    };
 
     if (cs.cls == ServiceClass::FastPath) {
         if (req->kind == OpKind::Read) {
-            srv.fileRead(req->ino, req->off, req->len, on_done,
-                         req->outStages, cal::hippiSetupOverhead);
+            srv.fileReadChecked(req->ino, req->off, req->len,
+                                on_read_done, req->outStages,
+                                cal::hippiSetupOverhead);
         } else if (req->inStages.empty()) {
             srv.fileWrite(req->ino, req->off, req->len,
                           std::move(on_done));
@@ -222,7 +231,8 @@ RequestScheduler::dispatch(ClassState &cs, Request &&r,
     // Standard mode: small transfers ride the Ethernet through the
     // host (§2.1.1).
     if (req->kind == OpKind::Read)
-        srv.standardRead(req->ino, req->off, req->len, on_done);
+        srv.standardReadChecked(req->ino, req->off, req->len,
+                                on_read_done);
     else
         srv.standardWrite(req->ino, req->off, req->len, on_done);
 }

@@ -102,9 +102,11 @@ struct Fleet
      */
     void
     issueOp(Session &s, const OpSpec &op, sim::Tick arrival,
-            unsigned attempt, sim::Tick backoff)
+            unsigned attempt, unsigned corrupt_attempt,
+            sim::Tick backoff)
     {
         auto completion = [this, &s, op, arrival, attempt,
+                           corrupt_attempt,
                            backoff](const RaidFileClient::Result &r) {
             if (r.status == Status::Busy ||
                 r.status == Status::Throttled) {
@@ -118,8 +120,28 @@ struct Fleet
                 sim::Tick next = backoff;
                 const sim::Tick wait = backoffWait(s, next);
                 eq.scheduleIn(wait, [this, &s, op, arrival, attempt,
-                                     next] {
-                    issueOp(s, op, arrival, attempt + 1, next);
+                                     corrupt_attempt, next] {
+                    issueOp(s, op, arrival, attempt + 1,
+                            corrupt_attempt, next);
+                });
+                return;
+            }
+            if (r.status == Status::DataCorrupt) {
+                // The server refused to ship wrong bytes.  Retry a
+                // bounded number of times (a scrub or rewrite may
+                // have healed the block), then give up honestly.
+                if (corrupt_attempt + 1 >= cfg.corruptRetryMax) {
+                    results.corruptOps++;
+                    finishOp(s);
+                    return;
+                }
+                results.corruptRetries++;
+                sim::Tick next = backoff;
+                const sim::Tick wait = backoffWait(s, next);
+                eq.scheduleIn(wait, [this, &s, op, arrival, attempt,
+                                     corrupt_attempt, next] {
+                    issueOp(s, op, arrival, attempt,
+                            corrupt_attempt + 1, next);
                 });
                 return;
             }
@@ -158,7 +180,7 @@ struct Fleet
             return;
         ++s.opsIssued;
         ++pendingWork;
-        issueOp(s, drawOp(s), eq.now(), 0, cfg.retryBackoff);
+        issueOp(s, drawOp(s), eq.now(), 0, 0, cfg.retryBackoff);
     }
 
     void
@@ -193,7 +215,7 @@ struct Fleet
         ++pendingWork;
         eq.schedule(at, [this, &s] {
             // The arrival slot becomes the op slot.
-            issueOp(s, drawOp(s), eq.now(), 0, cfg.retryBackoff);
+            issueOp(s, drawOp(s), eq.now(), 0, 0, cfg.retryBackoff);
             scheduleArrival(s);
         });
     }

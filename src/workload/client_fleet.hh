@@ -79,6 +79,13 @@ class ClientFleet
         unsigned maxRetries = 10000;
         /** @} */
 
+        /** DataCorrupt retry bound: a read that hit unrepairable
+         *  corruption is retried with the same backoff (a scrub or a
+         *  rewrite may have healed the block since), but only this
+         *  many times — the op then completes as corrupt instead of
+         *  spinning forever on a permanently poisoned block. */
+        unsigned corruptRetryMax = 4;
+
         /** Session i opens its file at i * startStagger. */
         sim::Tick startStagger = sim::usToTicks(100);
 
@@ -108,6 +115,12 @@ class ClientFleet
         std::uint64_t retries = 0;
         /** Ops abandoned after maxRetries (should stay 0). */
         std::uint64_t dropped = 0;
+        /** DataCorrupt completions that led to a retry. */
+        std::uint64_t corruptRetries = 0;
+        /** Reads still DataCorrupt after corruptRetryMax attempts;
+         *  the server refused to return wrong bytes and the client
+         *  gave up.  Excluded from @c ops. */
+        std::uint64_t corruptOps = 0;
         ClassBreakdown fast;
         ClassBreakdown standard;
 
